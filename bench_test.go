@@ -1,0 +1,204 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced trace length — one benchmark per experiment, matching the
+// DESIGN.md per-experiment index. Each iteration runs a complete simulation
+// and reports the experiment's headline metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a smoke-level reproduction:
+//
+//	BenchmarkTable5Predictors/web-search   fp_acc_pct, wp_acc_pct
+//	BenchmarkFig6MissRatio/...             miss_pct per design
+//	BenchmarkFig7Performance/...           speedup per design
+//
+// cmd/experiments runs the same experiments at full length.
+package unisoncache_test
+
+import (
+	"fmt"
+	"testing"
+
+	uc "unisoncache"
+	"unisoncache/internal/mem"
+)
+
+// benchAccesses keeps each iteration fast while still cycling the scaled
+// caches enough to exercise eviction-trained prediction.
+const benchAccesses = 60_000
+
+func execute(b *testing.B, r uc.Run) uc.Result {
+	b.Helper()
+	r.AccessesPerCore = benchAccesses
+	res, err := uc.Execute(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable2Geometry regenerates the computed rows of Table II: row
+// layouts and blocks-per-row for the three designs.
+func BenchmarkTable2Geometry(b *testing.B) {
+	var blocks int
+	for i := 0; i < b.N; i++ {
+		u960 := mem.UnisonGeometry(15, 4)
+		u1984 := mem.UnisonGeometry(31, 4)
+		alloy := mem.AlloyGeometry()
+		blocks = u960.DataBlocksPerRow() + u1984.DataBlocksPerRow() + alloy.DataBlocksPerRow()
+	}
+	b.ReportMetric(float64(mem.UnisonGeometry(15, 4).DataBlocksPerRow()), "uc960_blocks_per_row")
+	b.ReportMetric(float64(mem.UnisonGeometry(31, 4).DataBlocksPerRow()), "uc1984_blocks_per_row")
+	_ = blocks
+}
+
+// BenchmarkTable5Predictors regenerates the predictor-accuracy table: the
+// footprint and way predictors of Unison Cache per workload at 1 GB (8 GB
+// for TPC-H).
+func BenchmarkTable5Predictors(b *testing.B) {
+	for _, w := range uc.Workloads() {
+		b.Run(w, func(b *testing.B) {
+			capacity := uint64(1 << 30)
+			if w == "tpch" {
+				capacity = 8 << 30
+			}
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: w, Design: uc.DesignUnison, Capacity: capacity})
+			}
+			b.ReportMetric(res.Design.FP.Percent(), "fp_acc_pct")
+			b.ReportMetric(res.Design.FO.Percent(), "fp_overfetch_pct")
+			b.ReportMetric(res.Design.WP.Percent(), "wp_acc_pct")
+		})
+	}
+}
+
+// BenchmarkTable5MissPredictor covers the Alloy Cache MP rows of Table V.
+func BenchmarkTable5MissPredictor(b *testing.B) {
+	for _, w := range []string{"web-search", "data-analytics"} {
+		b.Run(w, func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: w, Design: uc.DesignAlloy, Capacity: 1 << 30})
+			}
+			b.ReportMetric(res.Design.MP.Percent(), "mp_acc_pct")
+			b.ReportMetric(res.Design.MPOverfetchPct, "mp_overfetch_pct")
+		})
+	}
+}
+
+// BenchmarkFig5Associativity regenerates the Figure 5 sweep: Unison Cache
+// miss ratio with 1, 4 and 32 ways.
+func BenchmarkFig5Associativity(b *testing.B) {
+	for _, ways := range []int{1, 4, 32} {
+		b.Run(fmt.Sprintf("ways-%d", ways), func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "web-serving", Design: uc.DesignUnison,
+					Capacity: 1 << 30, UnisonWays: ways})
+			}
+			b.ReportMetric(res.MissRatioPct(), "miss_pct")
+		})
+	}
+}
+
+// BenchmarkFig6MissRatio regenerates one Figure 6 column per design.
+func BenchmarkFig6MissRatio(b *testing.B) {
+	for _, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison} {
+		b.Run(string(d), func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "web-search", Design: d, Capacity: 512 << 20})
+			}
+			b.ReportMetric(res.MissRatioPct(), "miss_pct")
+		})
+	}
+}
+
+// BenchmarkFig7Performance regenerates one Figure 7 cell per design:
+// speedup over the no-DRAM-cache baseline at 1 GB.
+func BenchmarkFig7Performance(b *testing.B) {
+	base := execute(b, uc.Run{Workload: "data-serving", Design: uc.DesignNone, Capacity: 1 << 30})
+	for _, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal} {
+		b.Run(string(d), func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "data-serving", Design: d, Capacity: 1 << 30})
+			}
+			b.ReportMetric(res.UIPC/base.UIPC, "speedup")
+			b.ReportMetric(res.UIPC, "uipc")
+		})
+	}
+}
+
+// BenchmarkFig8TPCH regenerates the Figure 8 extremes: TPC-H at 1 GB and
+// 8 GB for Unison Cache.
+func BenchmarkFig8TPCH(b *testing.B) {
+	for _, size := range []uint64{1 << 30, 8 << 30} {
+		b.Run(fmt.Sprintf("%dGB", size>>30), func(b *testing.B) {
+			base := execute(b, uc.Run{Workload: "tpch", Design: uc.DesignNone, Capacity: size})
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "tpch", Design: uc.DesignUnison, Capacity: size})
+			}
+			b.ReportMetric(res.UIPC/base.UIPC, "speedup")
+			b.ReportMetric(res.MissRatioPct(), "miss_pct")
+		})
+	}
+}
+
+// BenchmarkAblationWayPredictor quantifies §V-B: way prediction versus
+// fetching all ways and versus serializing tag-then-data.
+func BenchmarkAblationWayPredictor(b *testing.B) {
+	variants := []struct {
+		name string
+		mod  func(*uc.Run)
+	}{
+		{"predicted", func(r *uc.Run) {}},
+		{"fetch-all-ways", func(r *uc.Run) { r.DisableWayPrediction = true }},
+		{"serialized-tag", func(r *uc.Run) { r.SerializeTagData = true }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				run := uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 1 << 30}
+				v.mod(&run)
+				res = execute(b, run)
+			}
+			b.ReportMetric(res.UIPC, "uipc")
+			b.ReportMetric(float64(res.Stacked.BytesRead)/float64(res.Instructions)*1000, "stacked_B_per_KI")
+		})
+	}
+}
+
+// BenchmarkAblationSingleton quantifies §III-A.4: singleton bypass on the
+// singleton-heavy Data Analytics workload.
+func BenchmarkAblationSingleton(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "bypass-on"
+		if disable {
+			name = "bypass-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "data-analytics", Design: uc.DesignUnison,
+					Capacity: 1 << 30, DisableSingleton: disable})
+			}
+			b.ReportMetric(res.MissRatioPct(), "miss_pct")
+			b.ReportMetric(float64(res.Design.SingletonSkips), "singleton_skips")
+		})
+	}
+}
+
+// BenchmarkEnergyProxy regenerates the §V-D discussion's metric: off-chip
+// row activations per kilo-instruction, where footprint-granularity
+// transfers give page-based designs an order-of-magnitude advantage.
+func BenchmarkEnergyProxy(b *testing.B) {
+	for _, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignUnison} {
+		b.Run(string(d), func(b *testing.B) {
+			var res uc.Result
+			for i := 0; i < b.N; i++ {
+				res = execute(b, uc.Run{Workload: "web-serving", Design: d, Capacity: 1 << 30})
+			}
+			b.ReportMetric(float64(res.Offchip.Activations)/float64(res.Instructions)*1000, "offchip_acts_per_KI")
+		})
+	}
+}

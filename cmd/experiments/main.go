@@ -1,0 +1,348 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables I, II, IV, V and Figures 5–8), plus the ablations
+// DESIGN.md calls out. Results are printed as aligned text tables and also
+// written as CSV under -out.
+//
+// Usage:
+//
+//	experiments -exp fig6              # one experiment, full length
+//	experiments -exp all -quick        # everything, shortened runs
+//	experiments -exp table5 -workloads web-search,tpch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	uc "unisoncache"
+	"unisoncache/internal/config"
+	"unisoncache/internal/stats"
+)
+
+type options struct {
+	accesses  int
+	seed      uint64
+	workloads []string
+	outDir    string
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|table4|table5|fig5|fig6|fig7|fig8|ablation-way|ablation-singleton|energy|priorart|conflict|all")
+	quick := flag.Bool("quick", false, "shortened runs (~5x faster, noisier)")
+	accesses := flag.Int("accesses", 0, "accesses per core (0 = default)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter")
+	out := flag.String("out", "results", "CSV output directory")
+	flag.Parse()
+
+	opt := options{accesses: *accesses, seed: *seed, outDir: *out}
+	if opt.accesses == 0 {
+		opt.accesses = 400_000
+		if *quick {
+			opt.accesses = 80_000
+		}
+	}
+	if *workloadsFlag != "" {
+		opt.workloads = strings.Split(*workloadsFlag, ",")
+	} else {
+		opt.workloads = uc.Workloads()
+	}
+	if err := os.MkdirAll(opt.outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	runners := map[string]func(options) error{
+		"table1":             table1,
+		"table2":             table2,
+		"table4":             table4,
+		"table5":             table5,
+		"fig5":               fig5,
+		"fig6":               fig6,
+		"fig7":               fig7,
+		"fig8":               fig8,
+		"ablation-way":       ablationWay,
+		"ablation-singleton": ablationSingleton,
+		"energy":             energy,
+		"priorart":           priorArt,
+		"conflict":           conflictModel,
+	}
+	order := []string{"table1", "table2", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "ablation-way", "ablation-singleton", "energy", "priorart", "conflict"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](opt); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(opt); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// cloudSuite filters opt.workloads to the five CloudSuite workloads.
+func cloudSuite(opt options) []string {
+	var out []string
+	for _, w := range opt.workloads {
+		if w != "tpch" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func hasTPCH(opt options) bool {
+	for _, w := range opt.workloads {
+		if w == "tpch" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCSV stores rows under the experiment's name.
+func writeCSV(opt options, name string, header []string, rows [][]string) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(opt.outDir, name+".csv"), []byte(b.String()), 0o644)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// table1 prints the qualitative comparison (static, from §I Table I).
+func table1(opt options) error {
+	fmt.Println("== Table I: qualitative comparison (AC / FC / UC) ==")
+	rows := [][]string{
+		{"No SRAM tag overhead", "yes", "no", "yes"},
+		{"Low hit latency", "yes", "no", "yes"},
+		{"High hit rate", "no", "yes", "yes"},
+		{"High effective capacity", "no", "yes", "yes"},
+		{"Scalability", "yes", "no", "yes"},
+	}
+	fmt.Printf("%-28s %-6s %-6s %-6s\n", "Property", "AC", "FC", "UC")
+	for _, r := range rows {
+		fmt.Printf("%-28s %-6s %-6s %-6s\n", r[0], r[1], r[2], r[3])
+	}
+	fmt.Println()
+	return writeCSV(opt, "table1", []string{"property", "alloy", "footprint", "unison"}, rows)
+}
+
+// table5 reproduces the predictor-accuracy table: MP for Alloy, FP for
+// Footprint and both Unison page sizes, WP for Unison. 1 GB caches (8 GB
+// for TPC-H), as in the paper.
+func table5(opt options) error {
+	fmt.Println("== Table V: predictor accuracy (1GB cache; 8GB for TPC-H) ==")
+	header := []string{"workload", "ac_mp_acc", "ac_mp_overfetch", "fc_fp_acc", "fc_fp_overfetch",
+		"uc960_fp_acc", "uc960_fp_overfetch", "uc960_wp_acc",
+		"uc1984_fp_acc", "uc1984_fp_overfetch", "uc1984_wp_acc"}
+	var rows [][]string
+	fmt.Printf("%-18s %8s %8s | %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+		"workload", "MP.acc", "MP.ovf", "FC.acc", "FC.ovf", "U960.acc", "U960.ovf", "U960.wp", "U1984.ac", "U1984.ov", "U1984.wp")
+	for _, w := range opt.workloads {
+		capacity := uint64(1 << 30)
+		if w == "tpch" {
+			capacity = 8 << 30
+		}
+		base := uc.Run{Workload: w, Capacity: capacity, AccessesPerCore: opt.accesses, Seed: opt.seed}
+
+		ac := base
+		ac.Design = uc.DesignAlloy
+		acRes, err := uc.Execute(ac)
+		if err != nil {
+			return err
+		}
+		fc := base
+		fc.Design = uc.DesignFootprint
+		fcRes, err := uc.Execute(fc)
+		if err != nil {
+			return err
+		}
+		u960 := base
+		u960.Design = uc.DesignUnison
+		u960Res, err := uc.Execute(u960)
+		if err != nil {
+			return err
+		}
+		u1984 := base
+		u1984.Design = uc.DesignUnison1984
+		u1984Res, err := uc.Execute(u1984)
+		if err != nil {
+			return err
+		}
+
+		row := []string{w,
+			f1(acRes.Design.MP.Percent()), f1(acRes.Design.MPOverfetchPct),
+			f1(fcRes.Design.FP.Percent()), f1(fcRes.Design.FO.Percent()),
+			f1(u960Res.Design.FP.Percent()), f1(u960Res.Design.FO.Percent()), f1(u960Res.Design.WP.Percent()),
+			f1(u1984Res.Design.FP.Percent()), f1(u1984Res.Design.FO.Percent()), f1(u1984Res.Design.WP.Percent()),
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-18s %8s %8s | %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+			w, row[1], row[2], row[3], row[4], row[5], row[6], row[7], row[8], row[9], row[10])
+	}
+	fmt.Println()
+	return writeCSV(opt, "table5", header, rows)
+}
+
+// fig5 reproduces the associativity sweep: Unison miss ratio with 1, 4 and
+// 32 ways at a small and a large cache size per workload.
+func fig5(opt options) error {
+	fmt.Println("== Figure 5: Unison Cache miss ratio vs associativity ==")
+	header := []string{"workload", "size", "ways1", "ways4", "ways32"}
+	var rows [][]string
+	fmt.Printf("%-18s %-8s %8s %8s %8s\n", "workload", "size", "1-way", "4-way", "32-way")
+	for _, w := range opt.workloads {
+		sizes := []uint64{128 << 20, 1 << 30}
+		if w == "tpch" {
+			sizes = []uint64{1 << 30, 8 << 30}
+		}
+		for _, size := range sizes {
+			var miss [3]float64
+			for i, ways := range []int{1, 4, 32} {
+				res, err := uc.Execute(uc.Run{
+					Workload: w, Design: uc.DesignUnison, Capacity: size,
+					AccessesPerCore: opt.accesses, Seed: opt.seed, UnisonWays: ways,
+				})
+				if err != nil {
+					return err
+				}
+				miss[i] = res.MissRatioPct()
+			}
+			rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
+			fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
+		}
+	}
+	fmt.Println()
+	return writeCSV(opt, "fig5", header, rows)
+}
+
+// fig6 reproduces the miss-ratio comparison across designs and sizes.
+func fig6(opt options) error {
+	fmt.Println("== Figure 6: miss ratio, Alloy vs Footprint vs Unison ==")
+	header := []string{"workload", "size", "alloy", "footprint", "unison"}
+	var rows [][]string
+	fmt.Printf("%-18s %-8s %8s %8s %8s\n", "workload", "size", "alloy", "footpr", "unison")
+	for _, w := range opt.workloads {
+		sizes := config.CloudSuiteSizes()
+		if w == "tpch" {
+			sizes = config.TPCHSizes()
+		}
+		for _, size := range sizes {
+			var miss [3]float64
+			for i, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison} {
+				res, err := uc.Execute(uc.Run{
+					Workload: w, Design: d, Capacity: size,
+					AccessesPerCore: opt.accesses, Seed: opt.seed,
+				})
+				if err != nil {
+					return err
+				}
+				miss[i] = res.MissRatioPct()
+			}
+			rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
+			fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
+		}
+	}
+	fmt.Println()
+	return writeCSV(opt, "fig6", header, rows)
+}
+
+// fig7 reproduces the CloudSuite performance comparison: speedup over the
+// no-DRAM-cache baseline for the four designs, plus the geometric mean.
+func fig7(opt options) error {
+	fmt.Println("== Figure 7: speedup over no-DRAM-cache baseline ==")
+	header := []string{"workload", "size", "alloy", "footprint", "unison", "ideal"}
+	var rows [][]string
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
+	fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", "workload", "size", "alloy", "footpr", "unison", "ideal")
+	geo := map[uc.DesignKind]map[uint64][]float64{}
+	for _, d := range designs {
+		geo[d] = map[uint64][]float64{}
+	}
+	for _, w := range cloudSuite(opt) {
+		for _, size := range config.CloudSuiteSizes() {
+			base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: size,
+				AccessesPerCore: opt.accesses, Seed: opt.seed})
+			if err != nil {
+				return err
+			}
+			var sp [4]float64
+			for i, d := range designs {
+				res, err := uc.Execute(uc.Run{Workload: w, Design: d, Capacity: size,
+					AccessesPerCore: opt.accesses, Seed: opt.seed})
+				if err != nil {
+					return err
+				}
+				sp[i] = res.UIPC / base.UIPC
+				geo[d][size] = append(geo[d][size], sp[i])
+			}
+			rows = append(rows, []string{w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
+			fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+		}
+	}
+	for _, size := range config.CloudSuiteSizes() {
+		var g [4]float64
+		for i, d := range designs {
+			v, err := stats.GeoMean(geo[d][size])
+			if err != nil {
+				continue
+			}
+			g[i] = v
+		}
+		rows = append(rows, []string{"geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3])})
+		fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", "geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3]))
+	}
+	fmt.Println()
+	return writeCSV(opt, "fig7", header, rows)
+}
+
+// fig8 reproduces the TPC-H scaling study: 1–8 GB caches.
+func fig8(opt options) error {
+	if !hasTPCH(opt) {
+		return nil
+	}
+	fmt.Println("== Figure 8: TPC-H speedup, 1-8GB caches ==")
+	header := []string{"size", "alloy", "footprint", "unison", "ideal"}
+	var rows [][]string
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
+	fmt.Printf("%-8s %8s %8s %8s %8s\n", "size", "alloy", "footpr", "unison", "ideal")
+	for _, size := range config.TPCHSizes() {
+		base, err := uc.Execute(uc.Run{Workload: "tpch", Design: uc.DesignNone, Capacity: size,
+			AccessesPerCore: opt.accesses, Seed: opt.seed})
+		if err != nil {
+			return err
+		}
+		var sp [4]float64
+		for i, d := range designs {
+			res, err := uc.Execute(uc.Run{Workload: "tpch", Design: d, Capacity: size,
+				AccessesPerCore: opt.accesses, Seed: opt.seed})
+			if err != nil {
+				return err
+			}
+			sp[i] = res.UIPC / base.UIPC
+		}
+		rows = append(rows, []string{config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
+		fmt.Printf("%-8s %8s %8s %8s %8s\n", config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+	}
+	fmt.Println()
+	return writeCSV(opt, "fig8", header, rows)
+}

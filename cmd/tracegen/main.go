@@ -1,0 +1,87 @@
+// Command tracegen inspects the synthetic workload generator: it replays a
+// stream and reports the statistical properties the DRAM cache designs key
+// on — footprint density distribution, spatial locality, write fraction,
+// instruction gaps, region reuse distance. Use it to sanity-check the
+// CloudSuite/TPC-H substitutions (DESIGN.md §1) or to preview a custom
+// profile before a full simulation.
+//
+// Usage:
+//
+//	tracegen -workload web-search -events 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unisoncache/internal/stats"
+	"unisoncache/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "web-search", "one of: "+strings.Join(trace.Names(), ", "))
+	events := flag.Int("events", 1_000_000, "events to generate")
+	seed := flag.Uint64("seed", 1, "stream seed")
+	flag.Parse()
+
+	prof, ok := trace.Profiles()[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+	stream, err := trace.NewStream(prof, *seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	density := stats.NewHistogram(trace.RegionBlocks)
+	var gaps stats.Mean
+	var writes stats.Ratio
+	distinct := map[uint64]struct{}{}
+
+	var curRegion uint64 = ^uint64(0)
+	var visitBlocks map[uint64]struct{}
+	visits := 0
+	flush := func() {
+		if visitBlocks != nil {
+			density.Add(len(visitBlocks))
+			visits++
+		}
+	}
+	for i := 0; i < *events; i++ {
+		ev := stream.Next()
+		region := uint64(ev.Addr) / trace.RegionBytes
+		if region != curRegion {
+			flush()
+			curRegion = region
+			visitBlocks = map[uint64]struct{}{}
+		}
+		visitBlocks[ev.Addr.Block()] = struct{}{}
+		distinct[region] = struct{}{}
+		gaps.Add(float64(ev.Gap))
+		writes.Add(ev.Write)
+	}
+	flush()
+
+	fmt.Printf("workload            %s\n", prof.Name)
+	fmt.Printf("working set         %d MB (%d regions of 2KB)\n", prof.WorkingSetBytes>>20, prof.Regions())
+	fmt.Printf("events              %d across %d region visits\n", *events, visits)
+	fmt.Printf("distinct regions    %d (footprint %d MB)\n", len(distinct), uint64(len(distinct))*trace.RegionBytes>>20)
+	fmt.Printf("write fraction      %.1f%% (profile %.1f%%)\n", writes.Percent(), prof.WriteFrac*100)
+	fmt.Printf("instruction gap     %.1f mean (profile %.1f)\n", gaps.Value(), prof.GapMean)
+	fmt.Printf("blocks per visit    %.1f mean, P50=%d, P90=%d\n",
+		density.Mean(), density.Percentile(0.5), density.Percentile(0.9))
+	fmt.Printf("singleton visits    %.1f%%\n", 100*density.Fraction(1))
+	fmt.Println("\nvisit footprint density (blocks of 32):")
+	for v := 1; v <= trace.RegionBlocks; v++ {
+		f := density.Fraction(v)
+		if f < 0.002 {
+			continue
+		}
+		bar := strings.Repeat("#", int(f*200))
+		fmt.Printf("%3d %6.1f%% %s\n", v, f*100, bar)
+	}
+}

@@ -1,0 +1,121 @@
+// Command unisonsim runs one DRAM cache simulation and prints a full
+// report: miss ratio and taxonomy, predictor accuracies, speedup over the
+// no-DRAM-cache baseline, and DRAM activity.
+//
+// Usage:
+//
+//	unisonsim -workload web-search -design unison -size 1GB
+//	unisonsim -workload tpch -design footprint -size 8GB -accesses 500000
+//	unisonsim -workload web-serving -design unison -ways 1 -size 128MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	uc "unisoncache"
+)
+
+func main() {
+	workload := flag.String("workload", "web-search", "one of: "+strings.Join(uc.Workloads(), ", "))
+	design := flag.String("design", "unison", "one of: unison, unison-1984, alloy, footprint, ideal, none")
+	size := flag.String("size", "1GB", "cache capacity (e.g. 128MB, 1GB, 8GB)")
+	accesses := flag.Int("accesses", 400_000, "accesses per core (warmup included)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	ways := flag.Int("ways", 0, "Unison associativity override (1, 4, 32)")
+	scale := flag.Int("scale", 0, "capacity scale divisor (0 = automatic)")
+	noBaseline := flag.Bool("no-baseline", false, "skip the baseline run (no speedup)")
+	flag.Parse()
+
+	capacity, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	run := uc.Run{
+		Workload:        *workload,
+		Design:          uc.DesignKind(*design),
+		Capacity:        capacity,
+		AccessesPerCore: *accesses,
+		Seed:            *seed,
+		UnisonWays:      *ways,
+		ScaleDivisor:    *scale,
+	}
+
+	var res, base uc.Result
+	var speedup float64
+	if *noBaseline || run.Design == uc.DesignNone {
+		res, err = uc.Execute(run)
+	} else {
+		speedup, res, base, err = uc.Speedup(run)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	d := res.Design
+	fmt.Printf("workload        %s\n", *workload)
+	fmt.Printf("design          %s\n", d.Name)
+	fmt.Printf("capacity        %s (simulated at 1/%d scale)\n", *size, res.Run.ScaleDivisor)
+	fmt.Printf("accesses/core   %d (x%d cores)\n", *accesses, res.Run.Cores)
+	fmt.Println()
+	fmt.Printf("UIPC            %.3f\n", res.UIPC)
+	if speedup > 0 {
+		fmt.Printf("speedup         %.2fx over no-DRAM-cache baseline (UIPC %.3f)\n", speedup, base.UIPC)
+	}
+	fmt.Printf("miss ratio      %.1f%%  (%d reads: %d trigger, %d underprediction, %d singleton-bypassed)\n",
+		d.MissRatioPct(), d.Reads, d.TriggerMisses, d.UnderpredMisses, d.SingletonSkips)
+	fmt.Printf("mean read lat   %.0f cycles below the L2\n", res.AvgDRAMReadLatency)
+	fmt.Println()
+	if d.FP != nil {
+		fmt.Printf("footprint pred  %.1f%% accuracy, %.1f%% overfetch\n", d.FP.Percent(), d.FO.Percent())
+	}
+	if d.WP != nil {
+		fmt.Printf("way predictor   %.1f%% accuracy\n", d.WP.Percent())
+	}
+	if d.MP != nil {
+		fmt.Printf("miss predictor  %.1f%% accuracy, %.1f%% overfetch\n", d.MP.Percent(), d.MPOverfetchPct)
+	}
+	fmt.Println()
+	fmt.Printf("off-chip        %.1f B/kilo-instruction (%d MB read, %d MB written)\n",
+		res.OffchipBytesPerKI, d.OffchipReadBytes>>20, d.OffchipWriteBytes>>20)
+	fmt.Printf("off-chip DRAM   %.0f%% row-buffer hits, %d activations\n",
+		100*res.Offchip.RowHitRate(), res.Offchip.Activations)
+	fmt.Printf("stacked DRAM    %.0f%% row-buffer hits, %d activations\n",
+		100*res.Stacked.RowHitRate(), res.Stacked.Activations)
+	fmt.Printf("L1 hit rate     %.1f%%   L2 hit rate %.1f%%\n", 100*res.L1HitRate, 100*res.L2.HitRate())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unisonsim:", err)
+	os.Exit(1)
+}
+
+// parseSize understands "128MB", "1GB", "8g", "64m", plain bytes.
+func parseSize(s string) (uint64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
+		mult = 1 << 30
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "GB"), "G")
+	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
+		mult = 1 << 20
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "MB"), "M")
+	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
+		mult = 1 << 10
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "KB"), "K")
+	}
+	var v uint64
+	for _, c := range t {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad size %q", s)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"128MB", 128 << 20},
+		{"1GB", 1 << 30},
+		{"8g", 8 << 30},
+		{"64m", 64 << 20},
+		{"4KB", 4 << 10},
+		{" 512mb ", 512 << 20},
+		{"8192", 8192},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeRejects(t *testing.T) {
+	for _, in := range []string{"", "abc", "12x34", "GB", "-1GB", "0"} {
+		if _, err := parseSize(in); err == nil {
+			t.Errorf("parseSize(%q) accepted", in)
+		}
+	}
+}

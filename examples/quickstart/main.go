@@ -1,0 +1,32 @@
+// Quickstart: simulate a 1 GB Unison Cache on the Web Search workload and
+// print the numbers the paper's abstract leads with — hit ratio and speedup
+// over a system with no DRAM cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uc "unisoncache"
+)
+
+func main() {
+	run := uc.Run{
+		Workload: "web-search",
+		Design:   uc.DesignUnison,
+		Capacity: 1 << 30, // 1 GB of die-stacked DRAM
+	}
+
+	speedup, res, base, err := uc.Speedup(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Unison Cache, %s, 1GB stacked DRAM\n", run.Workload)
+	fmt.Printf("  hit ratio:            %.1f%%\n", 100-res.MissRatioPct())
+	fmt.Printf("  footprint prediction: %.1f%% accurate, %.1f%% overfetch\n",
+		res.Design.FP.Percent(), res.Design.FO.Percent())
+	fmt.Printf("  way prediction:       %.1f%% accurate\n", res.Design.WP.Percent())
+	fmt.Printf("  throughput (UIPC):    %.2f vs %.2f without a DRAM cache\n", res.UIPC, base.UIPC)
+	fmt.Printf("  speedup:              %.2fx\n", speedup)
+}

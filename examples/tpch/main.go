@@ -1,0 +1,42 @@
+// Tpch reproduces the paper's Figure 8 scenario: TPC-H analytic queries
+// over a >100 GB column store, with multi-gigabyte stacked caches (1-8 GB).
+// This is the regime the paper argues makes SRAM page tags impractical:
+// Footprint Cache's tag array would grow to ~50 MB and its lookup latency
+// to ~48 cycles, while Unison Cache's in-DRAM tags scale for free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uc "unisoncache"
+)
+
+func main() {
+	sizes := []uint64{1 << 30, 2 << 30, 4 << 30, 8 << 30}
+
+	fmt.Println("TPC-H queries: 1-8GB stacked caches (Figure 8)")
+	fmt.Printf("%-6s %28s %28s\n", "", "speedup over baseline", "miss ratio")
+	fmt.Printf("%-6s %8s %9s %9s %9s %8s %9s\n", "size", "alloy", "footprint", "unison", "alloy", "footprnt", "unison")
+	for _, size := range sizes {
+		base, err := uc.Execute(uc.Run{Workload: "tpch", Design: uc.DesignNone, Capacity: size})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sp [3]float64
+		var miss [3]float64
+		for i, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison} {
+			res, err := uc.Execute(uc.Run{Workload: "tpch", Design: d, Capacity: size})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp[i] = res.UIPC / base.UIPC
+			miss[i] = res.MissRatioPct()
+		}
+		fmt.Printf("%dGB %10.2f %9.2f %9.2f %8.1f%% %8.1f%% %8.1f%%\n",
+			size>>30, sp[0], sp[1], sp[2], miss[0], miss[1], miss[2])
+	}
+	fmt.Println("\nNote how Footprint Cache's speedup stalls as its tag latency grows")
+	fmt.Println("with capacity (Table IV), while Unison Cache keeps improving — the")
+	fmt.Println("paper's scalability argument.")
+}

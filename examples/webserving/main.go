@@ -1,0 +1,51 @@
+// Webserving reproduces one panel of the paper's Figure 7 for the Web
+// Serving workload: it sweeps the stacked-DRAM capacity from 128 MB to 1 GB
+// and compares all four designs against the no-cache baseline, showing the
+// crossover the paper highlights — Footprint Cache wins while its SRAM tag
+// array is small and fast, Unison Cache wins as capacity (and therefore FC
+// tag latency) grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uc "unisoncache"
+)
+
+func main() {
+	sizes := []uint64{128 << 20, 256 << 20, 512 << 20, 1 << 30}
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
+
+	fmt.Println("Web Serving: speedup over no-DRAM-cache baseline (Figure 7 panel)")
+	fmt.Printf("%-8s %8s %10s %8s %8s\n", "size", "alloy", "footprint", "unison", "ideal")
+	for _, size := range sizes {
+		base, err := uc.Execute(uc.Run{Workload: "web-serving", Design: uc.DesignNone, Capacity: size})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", label(size))
+		for _, d := range designs {
+			res, err := uc.Execute(uc.Run{Workload: "web-serving", Design: d, Capacity: size})
+			if err != nil {
+				log.Fatal(err)
+			}
+			width := 8
+			if d == uc.DesignFootprint {
+				width = 10
+			}
+			fmt.Printf(" %*.2f", width, res.UIPC/base.UIPC)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFootprint Cache's SRAM tag array at these sizes would be 0.8-6.2 MB")
+	fmt.Println("(Table IV); at 8 GB it reaches ~50 MB, which is why Unison Cache keeps")
+	fmt.Println("its tags in the stacked DRAM itself.")
+}
+
+func label(b uint64) string {
+	if b >= 1<<30 {
+		return fmt.Sprintf("%dGB", b>>30)
+	}
+	return fmt.Sprintf("%dMB", b>>20)
+}

@@ -1,0 +1,219 @@
+// Package cache implements the on-chip SRAM caches of the baseline system
+// (Table III): per-core L1 data caches and the shared L2. The model is a
+// set-associative, write-back, write-allocate cache with true-LRU
+// replacement, tracking tags only — simulated data never exists, which is
+// what makes 10^8-access runs practical.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one SRAM cache level.
+type Config struct {
+	Name string
+	// SizeBytes is the total data capacity; it must be a power-of-two
+	// multiple of the 64 B block.
+	SizeBytes int
+	Ways      int
+	// Latency is the load-to-use latency in CPU cycles.
+	Latency uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: size and ways must be positive", c.Name)
+	}
+	blocks := c.SizeBytes / 64
+	if blocks*64 != c.SizeBytes || blocks%c.Ways != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible into %d-way sets of 64B blocks", c.Name, c.SizeBytes, c.Ways)
+	}
+	sets := blocks / c.Ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Writebacks uint64
+}
+
+// Misses returns Accesses - Hits.
+func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
+
+// HitRate returns the hit fraction.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+const (
+	stateInvalid uint8 = iota
+	stateClean
+	stateDirty
+)
+
+// Cache is one SRAM cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    uint64
+	setMask uint64
+	ways    int
+	// tags, state and lru are sets*ways flat arrays; way w of set s lives
+	// at index s*ways+w. lru holds recency ranks: 0 = MRU, ways-1 = LRU.
+	tags  []uint64
+	state []uint8
+	lru   []uint8
+	stats Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := uint64(cfg.SizeBytes / 64 / cfg.Ways)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: sets - 1,
+		ways:    cfg.Ways,
+		tags:    make([]uint64, sets*uint64(cfg.Ways)),
+		state:   make([]uint8, sets*uint64(cfg.Ways)),
+		lru:     make([]uint8, sets*uint64(cfg.Ways)),
+	}
+	for s := uint64(0); s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.lru[s*uint64(cfg.Ways)+uint64(w)] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the hit latency in CPU cycles.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, leaving content warm.
+func (c *Cache) ResetStats() { c.stats.Reset() }
+
+// Result reports the outcome of an Access.
+type Result struct {
+	Hit bool
+	// Writeback is set when the allocation evicted a dirty block, whose
+	// block number is WritebackBlock; the caller forwards it down the
+	// hierarchy.
+	Writeback      bool
+	WritebackBlock uint64
+}
+
+// Access looks up the block (a block number, not a byte address), allocates
+// on miss and applies LRU promotion. write marks the block dirty.
+func (c *Cache) Access(block uint64, write bool) Result {
+	c.stats.Accesses++
+	set := block & c.setMask
+	base := set * uint64(c.ways)
+	// Lookup.
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.state[i] != stateInvalid && c.tags[i] == block {
+			c.stats.Hits++
+			if write {
+				c.state[i] = stateDirty
+			}
+			c.promote(base, uint64(w))
+			return Result{Hit: true}
+		}
+	}
+	// Miss: pick the LRU way (preferring invalid ways, which carry the
+	// highest ranks after initialization).
+	victim := uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lru[i] == uint8(c.ways-1) {
+			victim = uint64(w)
+		}
+		if c.state[i] == stateInvalid {
+			victim = uint64(w)
+			break
+		}
+	}
+	i := base + victim
+	res := Result{}
+	if c.state[i] == stateDirty {
+		res.Writeback = true
+		res.WritebackBlock = c.tags[i]
+		c.stats.Writebacks++
+	}
+	c.tags[i] = block
+	if write {
+		c.state[i] = stateDirty
+	} else {
+		c.state[i] = stateClean
+	}
+	c.promote(base, victim)
+	return res
+}
+
+// Contains reports whether the block is present (no LRU side effects).
+func (c *Cache) Contains(block uint64) bool {
+	set := block & c.setMask
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.state[i] != stateInvalid && c.tags[i] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// promote makes way the MRU of its set.
+func (c *Cache) promote(base, way uint64) {
+	old := c.lru[base+way]
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.lru[i] < old {
+			c.lru[i]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Sets returns the number of sets (exported for tests and sizing reports).
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// checkLRUInvariant verifies each set's ranks are a permutation of
+// 0..ways-1. Exposed (unexported) for property tests.
+func (c *Cache) checkLRUInvariant() error {
+	for s := uint64(0); s < c.sets; s++ {
+		var seen uint64
+		for w := 0; w < c.ways; w++ {
+			r := c.lru[s*uint64(c.ways)+uint64(w)]
+			if int(r) >= c.ways {
+				return fmt.Errorf("set %d way %d: rank %d out of range", s, w, r)
+			}
+			if seen&(1<<r) != 0 {
+				return fmt.Errorf("set %d: duplicate rank %d", s, r)
+			}
+			seen |= 1 << r
+		}
+	}
+	return nil
+}

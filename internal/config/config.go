@@ -1,0 +1,89 @@
+// Package config centralizes the paper's tabulated parameters: the
+// Footprint Cache tag-array sizes and latencies of Table IV and the cache
+// size sweeps of Figures 5–8.
+package config
+
+// FCTagPoint is one column of Table IV.
+type FCTagPoint struct {
+	CacheBytes uint64
+	// TagMB is the SRAM tag-array size in megabytes.
+	TagMB float64
+	// LatencyCycles is the (conservatively estimated) tag lookup latency.
+	LatencyCycles uint64
+}
+
+// fcTagTable is Table IV verbatim.
+var fcTagTable = []FCTagPoint{
+	{128 << 20, 0.8, 6},
+	{256 << 20, 1.58, 9},
+	{512 << 20, 3.12, 11},
+	{1 << 30, 6.2, 16},
+	{2 << 30, 12.5, 25},
+	{4 << 30, 25, 36},
+	{8 << 30, 50, 48},
+}
+
+// FCTagTable returns Table IV.
+func FCTagTable() []FCTagPoint {
+	out := make([]FCTagPoint, len(fcTagTable))
+	copy(out, fcTagTable)
+	return out
+}
+
+// FCTagLatency returns the Footprint Cache tag latency for the given
+// capacity, using the next tabulated size for intermediate values.
+func FCTagLatency(cacheBytes uint64) uint64 {
+	for _, p := range fcTagTable {
+		if cacheBytes <= p.CacheBytes {
+			return p.LatencyCycles
+		}
+	}
+	return fcTagTable[len(fcTagTable)-1].LatencyCycles
+}
+
+// FCTagMB returns the Table IV SRAM tag size for the given capacity.
+func FCTagMB(cacheBytes uint64) float64 {
+	for _, p := range fcTagTable {
+		if cacheBytes <= p.CacheBytes {
+			return p.TagMB
+		}
+	}
+	return fcTagTable[len(fcTagTable)-1].TagMB
+}
+
+// CloudSuiteSizes is the Figure 6/7 cache-size sweep for the CloudSuite
+// workloads.
+func CloudSuiteSizes() []uint64 {
+	return []uint64{128 << 20, 256 << 20, 512 << 20, 1 << 30}
+}
+
+// TPCHSizes is the Figure 8 sweep for TPC-H.
+func TPCHSizes() []uint64 {
+	return []uint64{1 << 30, 2 << 30, 4 << 30, 8 << 30}
+}
+
+// SizeLabel formats a capacity the way the figures do.
+func SizeLabel(b uint64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return itoa(b>>30) + "GB"
+	case b >= 1<<20:
+		return itoa(b>>20) + "MB"
+	default:
+		return itoa(b) + "B"
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,81 @@
+package config
+
+import "testing"
+
+func TestFCTagTableMatchesPaper(t *testing.T) {
+	tbl := FCTagTable()
+	if len(tbl) != 7 {
+		t.Fatalf("Table IV has 7 columns, got %d", len(tbl))
+	}
+	if tbl[0].CacheBytes != 128<<20 || tbl[0].LatencyCycles != 6 {
+		t.Errorf("first column = %+v", tbl[0])
+	}
+	if tbl[6].CacheBytes != 8<<30 || tbl[6].TagMB != 50 || tbl[6].LatencyCycles != 48 {
+		t.Errorf("last column = %+v", tbl[6])
+	}
+	// Latency and size must grow monotonically with capacity (§II-B).
+	for i := 1; i < len(tbl); i++ {
+		if tbl[i].LatencyCycles <= tbl[i-1].LatencyCycles || tbl[i].TagMB <= tbl[i-1].TagMB {
+			t.Errorf("Table IV not monotone at %d", i)
+		}
+	}
+}
+
+func TestFCTagLatencyLookup(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		want  uint64
+	}{
+		{64 << 20, 6},
+		{128 << 20, 6},
+		{129 << 20, 9},
+		{1 << 30, 16},
+		{3 << 30, 36},
+		{8 << 30, 48},
+		{16 << 30, 48},
+	}
+	for _, c := range cases {
+		if got := FCTagLatency(c.bytes); got != c.want {
+			t.Errorf("FCTagLatency(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFCTagMB(t *testing.T) {
+	if got := FCTagMB(8 << 30); got != 50 {
+		t.Errorf("FCTagMB(8GB) = %v, want 50 (the paper's impractical SRAM array)", got)
+	}
+	if got := FCTagMB(512 << 20); got != 3.12 {
+		t.Errorf("FCTagMB(512MB) = %v", got)
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	cs := CloudSuiteSizes()
+	if len(cs) != 4 || cs[0] != 128<<20 || cs[3] != 1<<30 {
+		t.Errorf("CloudSuiteSizes = %v", cs)
+	}
+	th := TPCHSizes()
+	if len(th) != 4 || th[0] != 1<<30 || th[3] != 8<<30 {
+		t.Errorf("TPCHSizes = %v", th)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := []struct {
+		b    uint64
+		want string
+	}{
+		{128 << 20, "128MB"},
+		{1 << 30, "1GB"},
+		{8 << 30, "8GB"},
+		{1536 << 20, "1536MB"},
+		{64, "64B"},
+		{0, "0B"},
+	}
+	for _, c := range cases {
+		if got := SizeLabel(c.b); got != c.want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}

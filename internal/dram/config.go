@@ -1,0 +1,149 @@
+// Package dram implements the command-level DRAM timing model that stands
+// in for the paper's DRAMSim2 substrate. Both the die-stacked part (four
+// 128-bit channels at 1.6 GHz) and the off-chip DDR3-1600 channel are
+// instances of the same model with different parameters (Table III).
+//
+// The model tracks, per bank: the open row, ACT/PRE/RD/WR command legality
+// windows (tRCD, tRP, tRAS, tRC, tWR, tRTP), and per channel: ACT-to-ACT
+// spacing (tRRD), the four-activate window (tFAW) and data-bus occupancy.
+// Requests are served in arrival order with full bank-level parallelism —
+// an approximation of FR-FCFS that preserves every latency and bandwidth
+// effect the paper's evaluation depends on (row-buffer hits, activation
+// counts, bus serialization of large transfers).
+package dram
+
+import "fmt"
+
+// Timing holds the DRAM timing parameters in DRAM clock cycles, named as in
+// Table III of the paper.
+type Timing struct {
+	CAS int // column access strobe (read latency from column command)
+	RCD int // RAS-to-CAS delay (ACT to column command)
+	RP  int // row precharge
+	RAS int // ACT to PRE minimum
+	RC  int // ACT to ACT, same bank
+	WR  int // write recovery (end of write data to PRE)
+	WTR int // write-to-read turnaround
+	RTP int // read-to-precharge
+	RRD int // ACT to ACT, different banks, same channel/rank
+	FAW int // four-activate window
+}
+
+// Validate checks internal consistency of the timing parameters.
+func (t Timing) Validate() error {
+	if t.CAS <= 0 || t.RCD <= 0 || t.RP <= 0 || t.RAS <= 0 {
+		return fmt.Errorf("dram: core timings must be positive: %+v", t)
+	}
+	if t.RC < t.RAS+t.RP {
+		return fmt.Errorf("dram: tRC (%d) < tRAS+tRP (%d)", t.RC, t.RAS+t.RP)
+	}
+	if t.FAW < t.RRD {
+		return fmt.Errorf("dram: tFAW (%d) < tRRD (%d)", t.FAW, t.RRD)
+	}
+	return nil
+}
+
+// Organization describes the channel/bank/row structure of one DRAM part.
+type Organization struct {
+	Channels int
+	Ranks    int // ranks per channel; tRRD/tFAW apply within a rank
+	Banks    int // banks per rank
+	RowBytes int
+	// BusBytes is the data-bus width in bytes (16 for the 128-bit stacked
+	// TSV bus, 8 for the 64-bit DDR3 channel). The bus is double data
+	// rate: one bus clock moves 2*BusBytes.
+	BusBytes int
+}
+
+// Validate checks the organization fields.
+func (o Organization) Validate() error {
+	if o.Channels <= 0 || o.Ranks <= 0 || o.Banks <= 0 || o.RowBytes <= 0 || o.BusBytes <= 0 {
+		return fmt.Errorf("dram: organization fields must be positive: %+v", o)
+	}
+	if o.RowBytes%64 != 0 {
+		return fmt.Errorf("dram: RowBytes (%d) must be a multiple of the 64B block", o.RowBytes)
+	}
+	return nil
+}
+
+// Config fully describes one DRAM part and the CPU clock it serves.
+type Config struct {
+	Name   string
+	Timing Timing
+	Org    Organization
+	// DRAMHz is the DRAM command-clock frequency; CPUHz the core clock.
+	// All external times are expressed in CPU cycles; conversion rounds
+	// up (a command cannot complete mid-CPU-cycle).
+	DRAMHz uint64
+	CPUHz  uint64
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Org.Validate(); err != nil {
+		return err
+	}
+	if c.DRAMHz == 0 || c.CPUHz == 0 {
+		return fmt.Errorf("dram: clocks must be non-zero")
+	}
+	return nil
+}
+
+// ToCPU converts a duration in DRAM cycles to CPU cycles, rounding up.
+func (c Config) ToCPU(dramCycles int) uint64 {
+	if dramCycles <= 0 {
+		return 0
+	}
+	return (uint64(dramCycles)*c.CPUHz + c.DRAMHz - 1) / c.DRAMHz
+}
+
+// BurstCPU returns the CPU cycles the data bus is occupied transferring the
+// given number of bytes (DDR: 2*BusBytes per bus clock, minimum one clock).
+func (c Config) BurstCPU(bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	perClock := 2 * c.Org.BusBytes
+	clocks := (bytes + perClock - 1) / perClock
+	return c.ToCPU(clocks)
+}
+
+// Table III parameters. The paper gives the stacked-DRAM timings in DRAM
+// cycles at 1.6 GHz: tCAS-tRCD-tRP-tRAS = 11-11-11-28, tRC-tWR-tWTR-tRTP =
+// 39-12-6-6, tRRD-tFAW = 5-24. The off-chip DDR3-1600 part uses the same
+// cycle counts at its 800 MHz command clock, per the common -11 speed bin.
+var tableIIITiming = Timing{
+	CAS: 11, RCD: 11, RP: 11, RAS: 28,
+	RC: 39, WR: 12, WTR: 6, RTP: 6,
+	RRD: 5, FAW: 24,
+}
+
+// StackedConfig returns the die-stacked DRAM of Table III: 4 channels,
+// 8 banks per rank, 8 KB rows, 128-bit bus at 1.6 GHz, serving a 3 GHz CPU.
+func StackedConfig() Config {
+	return Config{
+		Name:   "stacked",
+		Timing: tableIIITiming,
+		Org:    Organization{Channels: 4, Ranks: 1, Banks: 8, RowBytes: 8192, BusBytes: 16},
+		DRAMHz: 1_600_000_000,
+		CPUHz:  3_000_000_000,
+	}
+}
+
+// OffchipConfig returns the off-chip memory of Table III: one DDR3-1600
+// channel (800 MHz command clock), four ranks of 8 banks (a 16-32 GB
+// multi-DIMM channel), 8 KB rows, 64-bit bus. The rank count matters: it
+// is what lets 16 concurrent access streams keep their open rows without
+// an FR-FCFS reordering scheduler.
+func OffchipConfig() Config {
+	return Config{
+		Name:   "offchip",
+		Timing: tableIIITiming,
+		Org:    Organization{Channels: 1, Ranks: 4, Banks: 8, RowBytes: 8192, BusBytes: 8},
+		DRAMHz: 800_000_000,
+		CPUHz:  3_000_000_000,
+	}
+}

@@ -1,0 +1,41 @@
+package dram
+
+// Energy estimation for the §V-D discussion: row activations are the most
+// energy-demanding DRAM operation, and footprint-granularity transfers (one
+// activation per ~10 blocks) are where Unison and Footprint Cache save an
+// order of magnitude in activations over Alloy Cache's per-block transfers.
+// Coefficients are representative DDR3/stacked values (activation ≈ 20 nJ
+// off-chip, ≈ 8 nJ for the lower-capacitance stacked arrays; I/O ≈ 40 pJ/B
+// off-chip over board traces, ≈ 4 pJ/B over TSVs).
+
+// EnergyModel holds per-operation energy coefficients in picojoules.
+type EnergyModel struct {
+	// ActivationPJ is the ACT+PRE pair cost per row activation.
+	ActivationPJ float64
+	// TransferPJPerByte is the column access + I/O cost per byte moved.
+	TransferPJPerByte float64
+}
+
+// OffchipEnergy returns representative DDR3 coefficients.
+func OffchipEnergy() EnergyModel {
+	return EnergyModel{ActivationPJ: 20_000, TransferPJPerByte: 40}
+}
+
+// StackedEnergy returns representative die-stacked coefficients: smaller
+// arrays and TSV I/O make both terms several times cheaper.
+func StackedEnergy() EnergyModel {
+	return EnergyModel{ActivationPJ: 8_000, TransferPJPerByte: 4}
+}
+
+// DynamicPJ estimates the dynamic energy of the recorded activity.
+func (m EnergyModel) DynamicPJ(s Stats) float64 {
+	bytes := float64(s.BytesRead + s.BytesWritten)
+	return float64(s.Activations)*m.ActivationPJ + bytes*m.TransferPJPerByte
+}
+
+// SystemDynamicPJ combines both parts' activity under their models — the
+// quantity whose 20-25% reduction the paper's §V-D cites for the
+// footprint-granularity designs.
+func SystemDynamicPJ(stacked, offchip Stats) float64 {
+	return StackedEnergy().DynamicPJ(stacked) + OffchipEnergy().DynamicPJ(offchip)
+}

@@ -1,0 +1,43 @@
+package dram
+
+import "testing"
+
+func TestEnergyModelArithmetic(t *testing.T) {
+	m := EnergyModel{ActivationPJ: 100, TransferPJPerByte: 2}
+	s := Stats{Activations: 3, BytesRead: 10, BytesWritten: 5}
+	if got := m.DynamicPJ(s); got != 3*100+15*2 {
+		t.Errorf("DynamicPJ = %v, want 330", got)
+	}
+	if m.DynamicPJ(Stats{}) != 0 {
+		t.Error("empty stats should cost 0")
+	}
+}
+
+func TestStackedCheaperThanOffchip(t *testing.T) {
+	s := Stats{Activations: 100, BytesRead: 64000}
+	if StackedEnergy().DynamicPJ(s) >= OffchipEnergy().DynamicPJ(s) {
+		t.Error("stacked DRAM should be cheaper per operation than off-chip")
+	}
+}
+
+func TestActivationReductionDominates(t *testing.T) {
+	// §V-D: transferring 10 blocks with one activation must cost far less
+	// off-chip energy than 10 single-block activations.
+	perBlock := Stats{Activations: 10, BytesRead: 640}
+	grouped := Stats{Activations: 1, BytesRead: 640}
+	m := OffchipEnergy()
+	ratio := m.DynamicPJ(perBlock) / m.DynamicPJ(grouped)
+	if ratio < 3 {
+		t.Errorf("activation grouping saves only %.1fx, want >= 3x", ratio)
+	}
+}
+
+func TestSystemDynamicPJ(t *testing.T) {
+	stacked := Stats{Activations: 1, BytesRead: 64}
+	offchip := Stats{Activations: 1, BytesRead: 64}
+	total := SystemDynamicPJ(stacked, offchip)
+	want := StackedEnergy().DynamicPJ(stacked) + OffchipEnergy().DynamicPJ(offchip)
+	if total != want {
+		t.Errorf("SystemDynamicPJ = %v, want %v", total, want)
+	}
+}

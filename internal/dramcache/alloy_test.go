@@ -1,0 +1,175 @@
+package dramcache
+
+import (
+	"testing"
+
+	"unisoncache/internal/dram"
+	"unisoncache/internal/mem"
+)
+
+func newAlloy(t *testing.T, capacity uint64) (*Alloy, *dram.Controller, *dram.Controller) {
+	t.Helper()
+	s, o := parts(t)
+	a, err := NewAlloy(capacity, 16, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, s, o
+}
+
+func TestAlloyRejectsTinyCapacity(t *testing.T) {
+	s, o := parts(t)
+	if _, err := NewAlloy(100, 1, s, o); err == nil {
+		t.Error("sub-row capacity accepted")
+	}
+}
+
+func TestAlloyMissThenHit(t *testing.T) {
+	a, _, _ := newAlloy(t, 1<<20)
+	r1 := a.Access(Request{Addr: 4096, PC: 1, At: 0})
+	if r1.Hit {
+		t.Error("cold access hit")
+	}
+	r2 := a.Access(Request{Addr: 4096, PC: 1, At: r1.DoneAt})
+	if !r2.Hit {
+		t.Error("refetched block missed")
+	}
+	snap := a.Snapshot()
+	if snap.Reads != 2 || snap.ReadHits != 1 {
+		t.Errorf("reads/hits = %d/%d", snap.Reads, snap.ReadHits)
+	}
+	if snap.MissRatioPct() != 50 {
+		t.Errorf("miss ratio = %v", snap.MissRatioPct())
+	}
+}
+
+func TestAlloyDirectMappedConflict(t *testing.T) {
+	a, _, _ := newAlloy(t, 1<<20) // 128 rows x 112 TADs = 14336 slots
+	numTADs := uint64(1<<20) / mem.RowBytes * TADsPerRow
+	b1 := uint64(5)
+	b2 := b1 + numTADs // same slot
+	a.Access(Request{Addr: mem.BlockAddr(b1), At: 0})
+	a.Access(Request{Addr: mem.BlockAddr(b2), At: 1000})
+	if a.Contains(b1) {
+		t.Error("conflicting block survived in a direct-mapped cache")
+	}
+	if !a.Contains(b2) {
+		t.Error("newly fetched block absent")
+	}
+}
+
+func TestAlloyDirtyWritebackOnConflict(t *testing.T) {
+	a, _, o := newAlloy(t, 1<<20)
+	numTADs := uint64(1<<20) / mem.RowBytes * TADsPerRow
+	// Install dirty via an L2 writeback, then conflict-evict it.
+	a.Access(Request{Addr: mem.BlockAddr(7), Write: true, At: 0})
+	before := o.Stats().BytesWritten
+	a.Access(Request{Addr: mem.BlockAddr(7 + numTADs), At: 100})
+	if got := o.Stats().BytesWritten - before; got != mem.BlockSize {
+		t.Errorf("dirty conflict wrote %d off-chip bytes, want 64", got)
+	}
+	if a.Snapshot().OffchipWriteBytes != mem.BlockSize {
+		t.Error("writeback traffic not counted")
+	}
+}
+
+func TestAlloyWriteHitNoOffchip(t *testing.T) {
+	a, _, _ := newAlloy(t, 1<<20)
+	a.Access(Request{Addr: 64, At: 0})
+	snap0 := a.Snapshot()
+	r := a.Access(Request{Addr: 64, Write: true, At: 1000})
+	if !r.Hit {
+		t.Error("write to cached block missed")
+	}
+	snap := a.Snapshot()
+	if snap.OffchipReadBytes != snap0.OffchipReadBytes || snap.OffchipWriteBytes != 0 {
+		t.Error("write hit generated off-chip traffic")
+	}
+	if snap.Writes != 1 {
+		t.Errorf("Writes = %d", snap.Writes)
+	}
+}
+
+func TestAlloyPredictedMissOverlapsOffchip(t *testing.T) {
+	// A correctly predicted miss launches off-chip immediately after the
+	// 1-cycle predictor; a mispredicted miss waits for the TAD probe. So
+	// cold misses (predictor initialized toward miss) must be faster than
+	// misses right after the predictor learned hits for the PC.
+	aFast, _, _ := newAlloy(t, 1<<20)
+	missLatFast := aFast.Access(Request{Addr: 4096, PC: 42, At: 0}).DoneAt
+
+	aSlow, _, _ := newAlloy(t, 1<<20)
+	// Teach PC 42 to predict hit.
+	at := uint64(0)
+	for i := 0; i < 8; i++ {
+		aSlow.Access(Request{Addr: 4096, PC: 42, At: at})
+		at += 2000
+	}
+	// Distinct cold block, same PC: predicted hit, actual miss.
+	r := aSlow.Access(Request{Addr: 1 << 19, PC: 42, At: 1 << 20})
+	if r.Hit {
+		t.Fatal("expected miss")
+	}
+	missLatSlow := r.DoneAt - (1 << 20)
+	if missLatSlow <= missLatFast {
+		t.Errorf("mispredicted miss (%d cycles) not slower than predicted miss (%d)", missLatSlow, missLatFast)
+	}
+}
+
+func TestAlloyFalseMissTraffic(t *testing.T) {
+	a, _, o := newAlloy(t, 1<<20)
+	// Prime the block and train the predictor toward miss for PC 9 by
+	// touching many cold blocks with it.
+	r := a.Access(Request{Addr: 64, PC: 9, At: 0})
+	at := r.DoneAt
+	for i := 1; i < 8; i++ {
+		at = a.Access(Request{Addr: mem.Addr(1<<18 + i*64), PC: 9, At: at}).DoneAt
+	}
+	// Now access the cached block with the miss-trained PC: a false miss.
+	reads0 := o.Stats().BytesRead
+	res := a.Access(Request{Addr: 64, PC: 9, At: at})
+	if !res.Hit {
+		t.Fatal("block should be cached")
+	}
+	if o.Stats().BytesRead == reads0 {
+		t.Error("false miss generated no wasted off-chip fetch")
+	}
+	if a.MissPredictor().Stats().FalseMiss == 0 {
+		t.Error("false miss not recorded")
+	}
+}
+
+func TestAlloySnapshotHasMP(t *testing.T) {
+	a, _, _ := newAlloy(t, 1<<20)
+	a.Access(Request{Addr: 0, At: 0})
+	s := a.Snapshot()
+	if s.MP == nil {
+		t.Fatal("MP stats missing")
+	}
+	if s.FP != nil || s.WP != nil {
+		t.Error("alloy should not report FP/WP stats")
+	}
+	a.ResetStats()
+	if a.Snapshot().MP.Den != 0 {
+		t.Error("ResetStats did not clear MP")
+	}
+}
+
+func TestAlloyHitFasterThanMiss(t *testing.T) {
+	a, _, _ := newAlloy(t, 1<<20)
+	miss := a.Access(Request{Addr: 8192, PC: 3, At: 0})
+	hit := a.Access(Request{Addr: 8192, PC: 3, At: 100000})
+	missLat := miss.DoneAt
+	hitLat := hit.DoneAt - 100000
+	if hitLat >= missLat {
+		t.Errorf("hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+}
+
+func TestAlloyCapacityScaling(t *testing.T) {
+	small, _, _ := newAlloy(t, 1<<20)
+	large, _, _ := newAlloy(t, 1<<24)
+	if small.numTADs*16 != large.numTADs {
+		t.Errorf("TAD count not linear: %d vs %d", small.numTADs, large.numTADs)
+	}
+}

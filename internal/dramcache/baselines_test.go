@@ -1,0 +1,113 @@
+package dramcache
+
+import (
+	"testing"
+
+	"unisoncache/internal/dram"
+	"unisoncache/internal/mem"
+)
+
+func parts(t *testing.T) (stacked, offchip *dram.Controller) {
+	t.Helper()
+	s, err := dram.NewController(dram.StackedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := dram.NewController(dram.OffchipConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, o
+}
+
+func TestIdealAlwaysHits(t *testing.T) {
+	s, _ := parts(t)
+	d := NewIdeal(s)
+	if d.Name() != "ideal" {
+		t.Error("name")
+	}
+	var at uint64
+	for i := 0; i < 100; i++ {
+		r := d.Access(Request{Addr: mem.Addr(uint64(i) * 64 * 997), At: at})
+		if !r.Hit {
+			t.Fatal("ideal cache missed")
+		}
+		at = r.DoneAt
+	}
+	snap := d.Snapshot()
+	if snap.MissRatioPct() != 0 {
+		t.Errorf("ideal miss ratio = %v", snap.MissRatioPct())
+	}
+	if snap.Reads != 100 {
+		t.Errorf("Reads = %d", snap.Reads)
+	}
+	if snap.OffchipReadBytes != 0 {
+		t.Error("ideal cache went off-chip")
+	}
+}
+
+func TestIdealWrite(t *testing.T) {
+	s, _ := parts(t)
+	d := NewIdeal(s)
+	r := d.Access(Request{Addr: 0, Write: true, At: 5})
+	if !r.Hit || r.DoneAt <= 5 {
+		t.Errorf("write response = %+v", r)
+	}
+	if d.Snapshot().Writes != 1 {
+		t.Error("write not counted")
+	}
+	d.ResetStats()
+	if d.Snapshot().Writes != 0 {
+		t.Error("ResetStats")
+	}
+}
+
+func TestNoneNeverHits(t *testing.T) {
+	_, o := parts(t)
+	d := NewNone(o)
+	if d.Name() != "none" {
+		t.Error("name")
+	}
+	r := d.Access(Request{Addr: 4096, At: 10})
+	if r.Hit {
+		t.Error("baseline hit")
+	}
+	if r.DoneAt <= 10 {
+		t.Error("no latency")
+	}
+	w := d.Access(Request{Addr: 8192, Write: true, At: 10})
+	if w.Hit {
+		t.Error("baseline write hit")
+	}
+	snap := d.Snapshot()
+	if snap.MissRatioPct() != 100 {
+		t.Errorf("baseline miss ratio = %v", snap.MissRatioPct())
+	}
+	if snap.OffchipReadBytes != 64 || snap.OffchipWriteBytes != 64 {
+		t.Errorf("traffic = %d/%d", snap.OffchipReadBytes, snap.OffchipWriteBytes)
+	}
+	d.ResetStats()
+	if d.Snapshot().Reads != 0 {
+		t.Error("ResetStats")
+	}
+}
+
+func TestNoneSlowerThanIdeal(t *testing.T) {
+	// The stacked part must serve a block faster than the off-chip part:
+	// the entire premise of die-stacked caching.
+	s, o := parts(t)
+	ideal := NewIdeal(s)
+	none := NewNone(o)
+	ri := ideal.Access(Request{Addr: 64 * 1024, At: 0})
+	rn := none.Access(Request{Addr: 64 * 1024, At: 0})
+	if ri.DoneAt-0 >= rn.DoneAt-0 {
+		t.Errorf("stacked latency %d >= off-chip %d", ri.DoneAt, rn.DoneAt)
+	}
+}
+
+func TestSnapshotMissRatioEmpty(t *testing.T) {
+	var s Snapshot
+	if s.MissRatioPct() != 0 {
+		t.Error("empty snapshot miss ratio")
+	}
+}

@@ -1,0 +1,115 @@
+// Package dramcache defines the interface every die-stacked DRAM cache
+// design implements, plus the designs the paper evaluates against Unison
+// Cache: the block-based Alloy Cache, the page-based Footprint Cache, the
+// ideal latency-optimized cache, and the no-cache baseline. Unison Cache
+// itself — the paper's contribution — lives in internal/core and implements
+// the same interface.
+package dramcache
+
+import (
+	"unisoncache/internal/mem"
+	"unisoncache/internal/stats"
+)
+
+// Request is one L2-miss-level access presented to the DRAM cache.
+type Request struct {
+	// Addr is the physical byte address (block-aligned by callers).
+	Addr mem.Addr
+	// PC is the program counter of the triggering instruction; the
+	// footprint and miss predictors key on it.
+	PC uint64
+	// Core is the issuing core, used by per-core predictor tables.
+	Core int
+	// Write marks a dirty writeback arriving from the L2.
+	Write bool
+	// At is the CPU cycle the request reaches the DRAM cache controller.
+	At uint64
+}
+
+// Response reports when and how a request was satisfied.
+type Response struct {
+	// DoneAt is the CPU cycle the requested block is available (reads) or
+	// accepted (writes).
+	DoneAt uint64
+	// Hit reports whether the DRAM cache supplied the block.
+	Hit bool
+}
+
+// Design is the interface all DRAM cache organizations implement.
+type Design interface {
+	// Name identifies the design in reports ("alloy", "footprint",
+	// "unison", "ideal", "none").
+	Name() string
+	// Access services one request, advancing DRAM timing state.
+	Access(Request) Response
+	// Snapshot returns the current statistics.
+	Snapshot() Snapshot
+	// ResetStats zeroes statistics while keeping all cache, predictor and
+	// DRAM state warm (the warmup/measurement boundary).
+	ResetStats()
+}
+
+// Snapshot is the uniform statistics view the experiment harness consumes.
+// Predictor sections are nil for designs that lack the predictor.
+type Snapshot struct {
+	Name string
+
+	// Demand-read accounting; the paper's miss ratios are over reads.
+	Reads    uint64
+	ReadHits uint64
+	// Writes counts L2 writebacks absorbed.
+	Writes uint64
+
+	// Miss taxonomy (page-based designs).
+	TriggerMisses   uint64 // first access to an uncached page
+	UnderpredMisses uint64 // page cached, block not fetched (§III-A.3)
+	SingletonSkips  uint64 // misses bypassed without allocation (§III-A.4)
+
+	// Off-chip traffic in bytes; the bandwidth-efficiency metric.
+	OffchipReadBytes  uint64
+	OffchipWriteBytes uint64
+
+	FP *stats.Ratio // footprint accuracy (nil when n/a)
+	FO *stats.Ratio // footprint overfetch
+	WP *stats.Ratio // way-prediction accuracy
+	MP *stats.Ratio // miss-prediction accuracy
+	// MPOverfetchPct is the unnecessary off-chip fetch percentage of the
+	// Alloy miss predictor.
+	MPOverfetchPct float64
+}
+
+// MissRatioPct returns the demand-read miss ratio in percent.
+func (s Snapshot) MissRatioPct() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return 100 * float64(s.Reads-s.ReadHits) / float64(s.Reads)
+}
+
+// baseStats carries the counters every design shares.
+type baseStats struct {
+	reads           uint64
+	readHits        uint64
+	writes          uint64
+	triggerMisses   uint64
+	underpredMisses uint64
+	singletonSkips  uint64
+	offReadBytes    uint64
+	offWriteBytes   uint64
+}
+
+func (b *baseStats) reset() { *b = baseStats{} }
+
+func (b *baseStats) snapshot(name string) Snapshot {
+	return Snapshot{
+		Name:              name,
+		Reads:             b.reads,
+		ReadHits:          b.readHits,
+		Writes:            b.writes,
+		TriggerMisses:     b.triggerMisses,
+		UnderpredMisses:   b.underpredMisses,
+		SingletonSkips:    b.singletonSkips,
+		OffchipReadBytes:  b.offReadBytes,
+		OffchipWriteBytes: b.offWriteBytes,
+	}
+}

@@ -1,0 +1,131 @@
+package dramcache
+
+import (
+	"testing"
+
+	"unisoncache/internal/mem"
+)
+
+func newLH(t *testing.T, capacity uint64) (*LohHill, func() uint64) {
+	t.Helper()
+	s, o := parts(t)
+	lh, err := NewLohHill(capacity, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lh, func() uint64 { return o.Stats().BytesWritten }
+}
+
+func TestLohHillRejectsTinyCapacity(t *testing.T) {
+	s, o := parts(t)
+	if _, err := NewLohHill(100, s, o); err == nil {
+		t.Error("sub-row capacity accepted")
+	}
+}
+
+func TestLohHillMissThenHit(t *testing.T) {
+	lh, _ := newLH(t, 1<<20)
+	r1 := lh.Access(Request{Addr: 4096, At: 0})
+	if r1.Hit {
+		t.Error("cold access hit")
+	}
+	r2 := lh.Access(Request{Addr: 4096, At: r1.DoneAt})
+	if !r2.Hit {
+		t.Error("refetch missed")
+	}
+	if lh.Snapshot().MissRatioPct() != 50 {
+		t.Errorf("miss ratio = %v", lh.Snapshot().MissRatioPct())
+	}
+}
+
+func TestLohHillHitSlowerThanAlloy(t *testing.T) {
+	// §II-A: the serialized tag-then-data lookup is the latency problem
+	// Alloy Cache fixed — verify the ordering holds in the model.
+	lh, _ := newLH(t, 1<<20)
+	s2, o2 := parts(t)
+	ac, err := NewAlloy(1<<20, 16, s2, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := lh.Access(Request{Addr: 4096, PC: 1, At: 0}).DoneAt + 1000
+	lhLat := lh.Access(Request{Addr: 4096, PC: 1, At: at}).DoneAt - at
+
+	at2 := ac.Access(Request{Addr: 4096, PC: 1, At: 0}).DoneAt + 1000
+	acLat := ac.Access(Request{Addr: 4096, PC: 1, At: at2}).DoneAt - at2
+	if lhLat <= acLat {
+		t.Errorf("Loh-Hill hit latency %d not above Alloy %d", lhLat, acLat)
+	}
+}
+
+func TestLohHillHighAssociativityAvoidsConflicts(t *testing.T) {
+	lh, _ := newLH(t, 1<<20)
+	sets := lh.table.Sets()
+	// 20 blocks mapping to one set coexist in a 28-way design.
+	var at uint64
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 20; i++ {
+			at = lh.Access(Request{Addr: mem.BlockAddr(7 + i*sets), At: at}).DoneAt
+		}
+	}
+	snap := lh.Snapshot()
+	// After the cold fill, everything hits.
+	if snap.ReadHits < 40 {
+		t.Errorf("hits = %d, want 40 (two warm rounds)", snap.ReadHits)
+	}
+}
+
+func TestLohHillDirtyWriteback(t *testing.T) {
+	lh, wb := newLH(t, 1<<20)
+	sets := lh.table.Sets()
+	var at uint64
+	// Dirty one block, then overflow its set with 28 more.
+	at = lh.Access(Request{Addr: mem.BlockAddr(3), Write: true, At: at}).DoneAt
+	before := wb()
+	for i := uint64(1); i <= LHWays; i++ {
+		at = lh.Access(Request{Addr: mem.BlockAddr(3 + i*sets), At: at}).DoneAt
+	}
+	if wb()-before != mem.BlockSize {
+		t.Errorf("dirty eviction wrote %d bytes, want 64", wb()-before)
+	}
+}
+
+func TestLohHillWriteHit(t *testing.T) {
+	lh, _ := newLH(t, 1<<20)
+	at := lh.Access(Request{Addr: 64, At: 0}).DoneAt
+	r := lh.Access(Request{Addr: 64, Write: true, At: at})
+	if !r.Hit {
+		t.Error("write to cached block missed")
+	}
+	if lh.Snapshot().Writes != 1 {
+		t.Error("write not counted")
+	}
+}
+
+func TestLohHillMissBypassesTagLookup(t *testing.T) {
+	// With the MissMap, a miss goes straight off-chip: its latency must be
+	// below the hit path's serialized tag read plus an off-chip access.
+	lh, _ := newLH(t, 1<<20)
+	r := lh.Access(Request{Addr: 8192, At: 0})
+	// Pure off-chip access from t=20 (MissMap) should be well under 400.
+	if r.DoneAt > 400 {
+		t.Errorf("bypassed miss took %d cycles", r.DoneAt)
+	}
+}
+
+func TestLohHillResetStats(t *testing.T) {
+	lh, _ := newLH(t, 1<<20)
+	at := lh.Access(Request{Addr: 0, At: 0}).DoneAt
+	lh.ResetStats()
+	if lh.Snapshot().Reads != 0 {
+		t.Error("ResetStats did not zero")
+	}
+	if r := lh.Access(Request{Addr: 0, At: at}); !r.Hit {
+		t.Error("ResetStats lost content")
+	}
+	if lh.Name() != "lohhill" {
+		t.Error("name")
+	}
+	if !lh.Contains(0) {
+		t.Error("Contains")
+	}
+}

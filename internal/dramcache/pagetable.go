@@ -1,0 +1,138 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"unisoncache/internal/predictor"
+)
+
+// PageState is the per-page metadata a page-based DRAM cache maintains. For
+// Footprint Cache it lives in the SRAM tag array; for Unison Cache it is
+// the in-DRAM metadata of Figure 2 (tag, valid/dirty bit vectors, the
+// triggering PC+offset pair). The simulator keeps Fetched and Touched as
+// separate vectors; hardware encodes the distinction in the modified
+// valid/dirty semantics the paper adopts from the Footprint Cache study.
+type PageState struct {
+	// Tag is the full page number.
+	Tag uint64
+	// Predicted is the footprint predicted at allocation time, frozen for
+	// eviction-time accuracy accounting (Table V).
+	Predicted predictor.Footprint
+	// Fetched marks blocks brought into the cache (predicted footprint
+	// plus underprediction fills).
+	Fetched predictor.Footprint
+	// Touched marks blocks actually demanded during residency — the
+	// page's true footprint, learned at eviction.
+	Touched predictor.Footprint
+	// Dirty marks blocks written during residency.
+	Dirty predictor.Footprint
+	// PC and Off are the (PC, offset) pair of the triggering miss.
+	PC  uint64
+	Off int8
+	// Valid marks the way as occupied.
+	Valid bool
+}
+
+// PageTable is a set-associative array of PageState with true-LRU
+// replacement, shared by the page-based designs. Sets need not be a power
+// of two (Unison Cache's non-power-of-two geometry).
+type PageTable struct {
+	sets  uint64
+	ways  int
+	pages []PageState
+	lru   []uint8
+}
+
+// NewPageTable allocates a table of sets x ways pages.
+func NewPageTable(sets uint64, ways int) (*PageTable, error) {
+	if sets == 0 || ways <= 0 || ways > 255 {
+		return nil, fmt.Errorf("dramcache: page table needs sets>0, 0<ways<=255; got %d x %d", sets, ways)
+	}
+	t := &PageTable{
+		sets:  sets,
+		ways:  ways,
+		pages: make([]PageState, sets*uint64(ways)),
+		lru:   make([]uint8, sets*uint64(ways)),
+	}
+	for s := uint64(0); s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			t.lru[s*uint64(ways)+uint64(w)] = uint8(w)
+		}
+	}
+	return t, nil
+}
+
+// Sets returns the set count.
+func (t *PageTable) Sets() uint64 { return t.sets }
+
+// Ways returns the associativity.
+func (t *PageTable) Ways() int { return t.ways }
+
+// SetOf maps a page number to its set index.
+func (t *PageTable) SetOf(page uint64) uint64 { return page % t.sets }
+
+// Lookup finds the way holding page within set, if any.
+func (t *PageTable) Lookup(set, page uint64) (way int, ok bool) {
+	base := set * uint64(t.ways)
+	for w := 0; w < t.ways; w++ {
+		p := &t.pages[base+uint64(w)]
+		if p.Valid && p.Tag == page {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Page returns the state of way w of set (mutable).
+func (t *PageTable) Page(set uint64, way int) *PageState {
+	return &t.pages[set*uint64(t.ways)+uint64(way)]
+}
+
+// Victim returns the way to replace in set: an invalid way if one exists,
+// else the LRU way.
+func (t *PageTable) Victim(set uint64) int {
+	base := set * uint64(t.ways)
+	victim := 0
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if !t.pages[i].Valid {
+			return w
+		}
+		if t.lru[i] == uint8(t.ways-1) {
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Promote makes way the MRU of its set.
+func (t *PageTable) Promote(set uint64, way int) {
+	base := set * uint64(t.ways)
+	old := t.lru[base+uint64(way)]
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if t.lru[i] < old {
+			t.lru[i]++
+		}
+	}
+	t.lru[base+uint64(way)] = 0
+}
+
+// CheckLRU verifies every set's recency ranks form a permutation; used by
+// property tests.
+func (t *PageTable) CheckLRU() error {
+	for s := uint64(0); s < t.sets; s++ {
+		var seen uint64
+		for w := 0; w < t.ways; w++ {
+			r := t.lru[s*uint64(t.ways)+uint64(w)]
+			if int(r) >= t.ways {
+				return fmt.Errorf("set %d way %d: rank %d out of range", s, w, r)
+			}
+			if seen&(1<<r) != 0 {
+				return fmt.Errorf("set %d: duplicate rank %d", s, r)
+			}
+			seen |= 1 << r
+		}
+	}
+	return nil
+}

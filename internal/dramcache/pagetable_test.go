@@ -1,0 +1,97 @@
+package dramcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, sets uint64, ways int) *PageTable {
+	t.Helper()
+	tb, err := NewPageTable(sets, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestPageTableRejectsBadShapes(t *testing.T) {
+	for _, tc := range []struct {
+		sets uint64
+		ways int
+	}{{0, 4}, {4, 0}, {4, -1}, {4, 256}} {
+		if _, err := NewPageTable(tc.sets, tc.ways); err == nil {
+			t.Errorf("NewPageTable(%d,%d) accepted", tc.sets, tc.ways)
+		}
+	}
+}
+
+func TestPageTableLookupInstall(t *testing.T) {
+	tb := mustTable(t, 8, 4)
+	set := tb.SetOf(100)
+	if _, ok := tb.Lookup(set, 100); ok {
+		t.Fatal("empty table lookup hit")
+	}
+	w := tb.Victim(set)
+	*tb.Page(set, w) = PageState{Tag: 100, Valid: true}
+	tb.Promote(set, w)
+	got, ok := tb.Lookup(set, 100)
+	if !ok || got != w {
+		t.Errorf("Lookup = (%d,%v), want (%d,true)", got, ok, w)
+	}
+}
+
+func TestPageTableNonPowerOfTwoSets(t *testing.T) {
+	tb := mustTable(t, 6, 4) // Unison's set counts are not powers of two
+	for page := uint64(0); page < 100; page++ {
+		if s := tb.SetOf(page); s != page%6 {
+			t.Fatalf("SetOf(%d) = %d, want %d", page, s, page%6)
+		}
+	}
+}
+
+func TestPageTableVictimPrefersInvalid(t *testing.T) {
+	tb := mustTable(t, 2, 4)
+	// Fill ways 0..2; victim must be the remaining invalid way 3.
+	for w := 0; w < 3; w++ {
+		*tb.Page(0, w) = PageState{Tag: uint64(w), Valid: true}
+		tb.Promote(0, w)
+	}
+	if v := tb.Victim(0); v != 3 {
+		t.Errorf("Victim = %d, want invalid way 3", v)
+	}
+}
+
+func TestPageTableLRUVictim(t *testing.T) {
+	tb := mustTable(t, 1, 4)
+	for w := 0; w < 4; w++ {
+		*tb.Page(0, w) = PageState{Tag: uint64(w), Valid: true}
+		tb.Promote(0, w)
+	}
+	// Touch 0 again: LRU is now 1.
+	tb.Promote(0, 0)
+	if v := tb.Victim(0); v != 1 {
+		t.Errorf("Victim = %d, want 1", v)
+	}
+}
+
+func TestPageTableLRUInvariantProperty(t *testing.T) {
+	tb := mustTable(t, 7, 4)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			set := uint64(op) % tb.Sets()
+			way := int(op>>8) % tb.Ways()
+			tb.Promote(set, way)
+		}
+		return tb.CheckLRU() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageTableAccessors(t *testing.T) {
+	tb := mustTable(t, 3, 8)
+	if tb.Sets() != 3 || tb.Ways() != 8 {
+		t.Errorf("Sets/Ways = %d/%d", tb.Sets(), tb.Ways())
+	}
+}

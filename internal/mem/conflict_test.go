@@ -1,0 +1,48 @@
+package mem
+
+import "testing"
+
+func TestConflictProbabilityBasics(t *testing.T) {
+	if ConflictProbability(0, 1, 10) != 0 {
+		t.Error("empty cache")
+	}
+	if ConflictProbability(1024, 1, 1) != 0 {
+		t.Error("single hot block cannot conflict")
+	}
+	if ConflictProbability(1024, 0, 10) != 0 {
+		t.Error("zero unit size")
+	}
+	// More hot blocks -> more conflicts.
+	small := ConflictProbability(1<<24, 1, 1000)
+	large := ConflictProbability(1<<24, 1, 100000)
+	if large <= small {
+		t.Errorf("conflict probability not increasing in hot set: %v vs %v", small, large)
+	}
+	// Capped at 1.
+	if p := ConflictProbability(64, 1, 1<<20); p > 1 {
+		t.Errorf("probability %v > 1", p)
+	}
+}
+
+func TestConflictRatioGrowsQuadratically(t *testing.T) {
+	// §III-A.5: "the probability of conflicts grows quadratically with the
+	// page size". Doubling the page size should ~4x the ratio.
+	cacheBlocks := uint64(1 << 30 / 64) // 1GB
+	hot := uint64(10_000)               // small enough that the cap does not saturate
+	r16 := ConflictRatio(cacheBlocks, 16, hot)
+	r32 := ConflictRatio(cacheBlocks, 32, hot)
+	if r32 < 3*r16 || r32 > 5*r16 {
+		t.Errorf("ratio growth %v -> %v not ~quadratic", r16, r32)
+	}
+}
+
+func TestConflictRatioPaperMagnitude(t *testing.T) {
+	// §III-A.5: for a 1GB cache and 2KB pages the conflict probability
+	// grows by a factor of ~500 in the worst case versus block-grain.
+	// The birthday model gives the page-size-squared scaling over the
+	// shared set space; accept the right order of magnitude.
+	ratio := ConflictRatio(1<<30/64, 32, 20_000)
+	if ratio < 300 || ratio > 2000 {
+		t.Errorf("1GB/2KB conflict ratio = %v, want ~P^2=1024 (paper: ~500, same order)", ratio)
+	}
+}

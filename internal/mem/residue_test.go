@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMersenneModSmall(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		n    uint
+		want uint64
+	}{
+		{0, 4, 0},
+		{14, 4, 14},
+		{15, 4, 0},
+		{16, 4, 1},
+		{30, 4, 0},
+		{31, 4, 1},
+		{225, 4, 0},
+		{226, 4, 1},
+		{30, 5, 30},
+		{31, 5, 0},
+		{62, 5, 0},
+		{63, 5, 1},
+		{961, 5, 0},
+		{math.MaxUint64, 4, math.MaxUint64 % 15},
+		{math.MaxUint64, 5, math.MaxUint64 % 31},
+		{math.MaxUint64, 32, math.MaxUint64 % ((1 << 32) - 1)},
+	}
+	for _, c := range cases {
+		if got := MersenneMod(c.x, c.n); got != c.want {
+			t.Errorf("MersenneMod(%d, %d) = %d, want %d", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMersenneModMatchesOperator(t *testing.T) {
+	for _, n := range []uint{2, 3, 4, 5, 7, 11, 13, 16, 31, 32} {
+		m := uint64(1)<<n - 1
+		f := func(x uint64) bool { return MersenneMod(x, n) == x%m }
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDividerDivMod(t *testing.T) {
+	for _, n := range []uint{2, 4, 5, 6, 8, 12, 20, 32} {
+		dv := NewDivider(n)
+		d := dv.Divisor()
+		if d != uint64(1)<<n-1 {
+			t.Fatalf("Divisor() = %d, want %d", d, uint64(1)<<n-1)
+		}
+		f := func(x uint64) bool {
+			q, r := dv.DivMod(x)
+			return q == x/d && r == x%d
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDividerReconstruction(t *testing.T) {
+	// q*d + r must reconstruct x exactly: the address-mapping identity the
+	// cache depends on.
+	dv := NewDivider(4)
+	f := func(x uint64) bool {
+		q, r := dv.DivMod(x)
+		return q*dv.Divisor()+r == x && r < dv.Divisor()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDividerPanics(t *testing.T) {
+	for _, n := range []uint{0, 1, 33, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDivider(%d) did not panic", n)
+				}
+			}()
+			NewDivider(n)
+		}()
+	}
+}
+
+func TestModInverse64(t *testing.T) {
+	for _, d := range []uint64{1, 3, 15, 31, 255, 4095, 0xFFFFFFFF, 12345677} {
+		if d&1 == 0 {
+			continue
+		}
+		inv := modInverse64(d)
+		if d*inv != 1 {
+			t.Errorf("modInverse64(%d): d*inv = %d, want 1", d, d*inv)
+		}
+	}
+}
+
+func TestModInverseEvenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("modInverse64(4) did not panic")
+		}
+	}()
+	modInverse64(4)
+}
+
+func TestXORFoldHash(t *testing.T) {
+	if got := XORFoldHash(0, 12); got != 0 {
+		t.Errorf("XORFoldHash(0,12) = %d, want 0", got)
+	}
+	if got := XORFoldHash(0xFFF, 12); got != 0xFFF {
+		t.Errorf("XORFoldHash(0xFFF,12) = %#x, want 0xFFF", got)
+	}
+	// Folding two identical 12-bit chunks cancels to zero.
+	if got := XORFoldHash(0xABC<<12|0xABC, 12); got != 0 {
+		t.Errorf("XORFoldHash(dup,12) = %#x, want 0", got)
+	}
+	f := func(x uint64) bool { return XORFoldHash(x, 12) < 1<<12 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity over a dense small range.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 100000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func BenchmarkDividerDivMod15(b *testing.B) {
+	dv := NewDivider(4)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		q, r := dv.DivMod(uint64(i) * 0x9e3779b9)
+		sink += q + r
+	}
+	_ = sink
+}

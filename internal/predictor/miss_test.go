@@ -1,0 +1,185 @@
+package predictor
+
+import "testing"
+
+func TestMissPredictorColdPredictsMiss(t *testing.T) {
+	p := NewMissPredictor(16, 256)
+	if !p.PredictMiss(0, 0x400) {
+		t.Error("cold predictor should predict miss (empty cache)")
+	}
+}
+
+func TestMissPredictorLearnsHits(t *testing.T) {
+	p := NewMissPredictor(1, 256)
+	pc := uint64(0x1234)
+	for i := 0; i < 8; i++ {
+		p.Update(0, pc, p.PredictMiss(0, pc), false) // stream of hits
+	}
+	if p.PredictMiss(0, pc) {
+		t.Error("predictor did not learn a hit-dominated PC")
+	}
+	for i := 0; i < 8; i++ {
+		p.Update(0, pc, p.PredictMiss(0, pc), true) // stream of misses
+	}
+	if !p.PredictMiss(0, pc) {
+		t.Error("predictor did not re-learn a miss-dominated PC")
+	}
+}
+
+func TestMissPredictorPerCoreIsolation(t *testing.T) {
+	p := NewMissPredictor(2, 256)
+	pc := uint64(0x99)
+	for i := 0; i < 8; i++ {
+		p.Update(0, pc, true, false) // core 0 sees hits
+	}
+	if p.PredictMiss(0, pc) {
+		t.Error("core 0 should predict hit")
+	}
+	if !p.PredictMiss(1, pc) {
+		t.Error("core 1 state leaked from core 0")
+	}
+}
+
+func TestMissPredictorAccuracyMetric(t *testing.T) {
+	p := NewMissPredictor(1, 64)
+	// 3 misses: 2 predicted correctly, 1 wrongly predicted hit.
+	p.Update(0, 1, true, true)
+	p.Update(0, 1, true, true)
+	p.Update(0, 1, false, true)
+	// 2 hits: 1 wrongly predicted miss.
+	p.Update(0, 1, false, false)
+	p.Update(0, 1, true, false)
+	s := p.Stats()
+	if got := s.Accuracy.Value(); got != 2.0/3 {
+		t.Errorf("MP accuracy = %v, want 2/3 (misses correctly identified)", got)
+	}
+	if s.FalseMiss != 1 || s.SlowMiss != 1 {
+		t.Errorf("FalseMiss=%d SlowMiss=%d, want 1/1", s.FalseMiss, s.SlowMiss)
+	}
+	if s.Hits != 2 || s.Misses != 3 {
+		t.Errorf("Hits=%d Misses=%d", s.Hits, s.Misses)
+	}
+	// Overfetch: 1 false miss / (3 misses + 1 false miss) = 25%.
+	if got := s.OverfetchPercent(); got != 25 {
+		t.Errorf("OverfetchPercent = %v, want 25", got)
+	}
+}
+
+func TestMissPredictorOverfetchEmpty(t *testing.T) {
+	var s MissStats
+	if s.OverfetchPercent() != 0 {
+		t.Error("empty OverfetchPercent should be 0")
+	}
+}
+
+func TestMissPredictorSaturation(t *testing.T) {
+	p := NewMissPredictor(1, 64)
+	pc := uint64(7)
+	for i := 0; i < 100; i++ {
+		p.Update(0, pc, true, true)
+	}
+	// One hit must not flip a saturated miss counter.
+	p.Update(0, pc, true, false)
+	if !p.PredictMiss(0, pc) {
+		t.Error("single hit flipped a saturated miss counter")
+	}
+	for i := 0; i < 100; i++ {
+		p.Update(0, pc, false, false)
+	}
+	p.Update(0, pc, false, true)
+	if p.PredictMiss(0, pc) {
+		t.Error("single miss flipped a saturated hit counter")
+	}
+}
+
+func TestMissPredictorSizeTable2(t *testing.T) {
+	// Table II: 96B per core, 1.5KB total for 16 cores.
+	p := NewMissPredictor(16, 256)
+	if got := p.SizeBytes(); got != 1536 {
+		t.Errorf("SizeBytes = %d, want 1536 (1.5KB)", got)
+	}
+	if p.Latency() != 1 {
+		t.Errorf("Latency = %d, want 1", p.Latency())
+	}
+}
+
+func TestMissPredictorResetStats(t *testing.T) {
+	p := NewMissPredictor(1, 64)
+	for i := 0; i < 8; i++ {
+		p.Update(0, 5, true, false)
+	}
+	p.ResetStats()
+	if p.Stats().Hits != 0 || p.Stats().Accuracy.Den != 0 {
+		t.Error("ResetStats did not zero")
+	}
+	// Counter state survives: still predicts hit for this PC.
+	if p.PredictMiss(0, 5) {
+		t.Error("ResetStats lost counter state")
+	}
+}
+
+func TestSingletonTableRoundTrip(t *testing.T) {
+	s := NewSingletonTable(256)
+	s.Insert(1000, 0xABC, 5)
+	pc, off, ok := s.Check(1000)
+	if !ok || pc != 0xABC || off != 5 {
+		t.Errorf("Check = (%#x,%d,%v), want (0xABC,5,true)", pc, off, ok)
+	}
+	// Entries are consumed by Check.
+	if _, _, ok := s.Check(1000); ok {
+		t.Error("entry survived Check")
+	}
+	if s.Promotions != 1 || s.Bypasses != 1 {
+		t.Errorf("Promotions=%d Bypasses=%d", s.Promotions, s.Bypasses)
+	}
+}
+
+func TestSingletonTableMissingPage(t *testing.T) {
+	s := NewSingletonTable(256)
+	if _, _, ok := s.Check(42); ok {
+		t.Error("Check hit on an empty table")
+	}
+	s.Insert(1, 2, 3)
+	if _, _, ok := s.Check(9999999); ok {
+		t.Error("Check hit a non-inserted page")
+	}
+}
+
+func TestSingletonTableConflictReplaces(t *testing.T) {
+	s := NewSingletonTable(2) // tiny: force conflicts
+	var pages []uint64
+	// Find two pages mapping to the same slot.
+	base := uint64(1)
+	for x := uint64(2); len(pages) < 1; x++ {
+		if s.index(x) == s.index(base) {
+			pages = append(pages, x)
+		}
+	}
+	s.Insert(base, 1, 0)
+	s.Insert(pages[0], 2, 0)
+	if _, _, ok := s.Check(base); ok {
+		t.Error("conflicting insert did not replace")
+	}
+	if _, _, ok := s.Check(pages[0]); !ok {
+		t.Error("latest insert missing")
+	}
+}
+
+func TestSingletonTableSizeTable2(t *testing.T) {
+	// Table II: singleton table 3KB. 256 x 12B = 3KB.
+	if got := NewSingletonTable(256).SizeBytes(); got != 3<<10 {
+		t.Errorf("SizeBytes = %d, want 3072", got)
+	}
+}
+
+func TestSingletonResetStats(t *testing.T) {
+	s := NewSingletonTable(16)
+	s.Insert(7, 1, 1)
+	s.ResetStats()
+	if s.Bypasses != 0 || s.Promotions != 0 {
+		t.Error("ResetStats did not zero")
+	}
+	if _, _, ok := s.Check(7); !ok {
+		t.Error("ResetStats dropped tracked pages")
+	}
+}

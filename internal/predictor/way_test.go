@@ -1,0 +1,147 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWayPredictorLearns(t *testing.T) {
+	p := NewWayPredictor(12, 4)
+	if got := p.Predict(100); got != 0 {
+		t.Errorf("cold prediction = %d, want 0", got)
+	}
+	p.Update(100, 3)
+	if got := p.Predict(100); got != 3 {
+		t.Errorf("trained prediction = %d, want 3", got)
+	}
+	p.Update(100, 1)
+	if got := p.Predict(100); got != 1 {
+		t.Errorf("retrained prediction = %d, want 1", got)
+	}
+}
+
+func TestWayPredictorRange(t *testing.T) {
+	p := NewWayPredictor(12, 4)
+	f := func(page uint64, way uint8) bool {
+		p.Update(page, int(way))
+		w := p.Predict(page)
+		return w >= 0 && w < 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWayPredictorAliasing(t *testing.T) {
+	// Pages whose XOR folds collide share an entry: the predictor is a
+	// direct-indexed array, not a tagged table.
+	p := NewWayPredictor(12, 4)
+	a := uint64(0x1)
+	b := a | (a << 12) // folds to 0... construct a true alias instead
+	b = uint64(0x1001) // 0x1 ^ 0x001 = 0x000? 0x1001 folds to 0x001^0x1 = 0
+	_ = b
+	// Find a real alias by search.
+	p.Update(a, 2)
+	var alias uint64
+	for x := uint64(2); ; x++ {
+		if x != a && p.Predict(x) == 2 {
+			// could be default 0 ways... check a colliding update instead
+			p2 := NewWayPredictor(12, 4)
+			p2.Update(x, 3)
+			if p2.Predict(a) == 3 {
+				alias = x
+				break
+			}
+		}
+		if x > 1<<20 {
+			t.Skip("no alias found in search range")
+		}
+	}
+	p.Update(alias, 1)
+	if got := p.Predict(a); got != 1 {
+		t.Errorf("aliased entry not shared: got %d", got)
+	}
+}
+
+func TestWayPredictorStats(t *testing.T) {
+	p := NewWayPredictor(12, 4)
+	p.Record(true)
+	p.Record(true)
+	p.Record(false)
+	if got := p.Stats().Accuracy.Value(); got != 2.0/3 {
+		t.Errorf("accuracy = %v", got)
+	}
+	p.ResetStats()
+	if p.Stats().Accuracy.Den != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestHashBitsFor(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		want  uint
+	}{
+		{128 << 20, 12},
+		{1 << 30, 12},
+		{4 << 30, 12},
+		{(4 << 30) + 1, 16},
+		{8 << 30, 16},
+	}
+	for _, c := range cases {
+		if got := HashBitsFor(c.bytes); got != c.want {
+			t.Errorf("HashBitsFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestWayPredictorSizeTable2(t *testing.T) {
+	// Table II: way predictor 1-16KB. 12-bit hash -> 4096 x 2bit = 1KB;
+	// 16-bit -> 16KB.
+	if got := NewWayPredictor(12, 4).SizeBytes(); got != 1<<10 {
+		t.Errorf("12-bit predictor = %d B, want 1KB", got)
+	}
+	if got := NewWayPredictor(16, 4).SizeBytes(); got != 16<<10 {
+		t.Errorf("16-bit predictor = %d B, want 16KB", got)
+	}
+}
+
+func TestWayPredictorPanics(t *testing.T) {
+	for _, tc := range []struct {
+		bits uint
+		ways int
+	}{
+		{0, 4}, {25, 4}, {12, 0}, {12, 3}, {12, 512},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWayPredictor(%d,%d) did not panic", tc.bits, tc.ways)
+				}
+			}()
+			NewWayPredictor(tc.bits, tc.ways)
+		}()
+	}
+}
+
+func TestWayPredictorPageLocalityAccuracy(t *testing.T) {
+	// The paper's argument: page-level operation gives ~95% accuracy
+	// because successive accesses hit the same page. Simulate bursts of
+	// accesses to pages and verify high accuracy.
+	p := NewWayPredictor(12, 4)
+	correct, total := 0, 0
+	for page := uint64(0); page < 1000; page++ {
+		way := int(page % 4)
+		for a := 0; a < 10; a++ {
+			if p.Predict(page) == way {
+				correct++
+			}
+			total++
+			p.Update(page, way)
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Errorf("burst accuracy = %.2f, want >= 0.85 (first access per page may miss)", acc)
+	}
+}

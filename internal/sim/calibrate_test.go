@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+	"unisoncache/internal/trace"
+)
+
+// TestTuneGaps is a calibration harness, not a regression test: run with
+// TUNE=1 to print the ideal/none speedup ratio per workload and gap.
+func TestTuneGaps(t *testing.T) {
+	if os.Getenv("TUNE") == "" {
+		t.Skip("calibration harness; set TUNE=1")
+	}
+	gaps := map[string][]float64{
+		"data-analytics":   {14, 25, 40},
+		"data-serving":     {4, 6, 8},
+		"software-testing": {10, 16, 24},
+		"web-search":       {14, 24, 36},
+		"web-serving":      {10, 16, 24},
+		"tpch":             {20, 40, 60},
+	}
+	for _, name := range trace.Names() {
+		prof0 := trace.Profiles()[name]
+		for _, gap := range gaps[name] {
+			prof := *prof0
+			prof.GapMean = gap
+			prof.WorkingSetBytes /= 32
+			ratio := idealOverNone(t, &prof)
+			fmt.Printf("%-18s gap=%4.0f ideal/none=%.2f\n", name, gap, ratio)
+		}
+	}
+}
+
+func idealOverNone(t *testing.T, prof *trace.Profile) float64 {
+	run := func(mk func(s, o *dram.Controller) dramcache.Design) float64 {
+		s, _ := dram.NewController(dram.StackedConfig())
+		o, _ := dram.NewController(dram.OffchipConfig())
+		cfg := Default()
+		cfg.L2.SizeBytes = 128 << 10
+		streams := make([]*trace.Stream, cfg.Cores)
+		for i := range streams {
+			streams[i], _ = trace.NewStream(prof, 1, i)
+		}
+		m, err := New(cfg, streams, mk(s, o), s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(100000).UIPC
+	}
+	none := run(func(s, o *dram.Controller) dramcache.Design { return dramcache.NewNone(o) })
+	ideal := run(func(s, o *dram.Controller) dramcache.Design { return dramcache.NewIdeal(s) })
+	return ideal / none
+}

@@ -1,0 +1,305 @@
+// Package sim is the trace-replay timing engine that stands in for the
+// paper's Flexus full-system simulation (§IV-A). Sixteen cores replay
+// synthetic workload streams through private L1 data caches and a shared
+// L2; L2 misses go to the DRAM cache design under test, which in turn uses
+// the shared stacked and off-chip DRAM timing models. Contention emerges
+// from the shared DRAM bank/bus reservations; cores are advanced
+// minimum-clock-first so their clocks stay interleaved.
+//
+// The core model: one instruction per cycle while not stalled; a load that
+// misses the L1 stalls the core for the portion of its latency an
+// out-of-order window cannot hide (HideCycles); stores retire through a
+// write buffer without stalling. The paper's performance metric — user
+// instructions per cycle, "shown to accurately reflect overall server
+// throughput" — is the sum of per-core IPCs over the measured interval.
+package sim
+
+import (
+	"fmt"
+
+	"unisoncache/internal/cache"
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+	"unisoncache/internal/mem"
+	"unisoncache/internal/trace"
+)
+
+// Config describes the CMP of Table III.
+type Config struct {
+	Cores int
+	L1    cache.Config
+	L2    cache.Config
+	// HideCycles is the memory latency (beyond the L1) that the 3-way OoO
+	// core can overlap with useful work.
+	HideCycles uint64
+	// MLP divides residual stall cycles, approximating overlapped misses.
+	// It must stay 1 when the DRAM parts are shared timing models: a
+	// divisor lets cores issue faster than the memory system's service
+	// rate, which in an absolute-time reservation model grows queues
+	// without bound. Latency overlap is instead captured by HideCycles.
+	MLP uint64
+	// WarmupFrac is the fraction of each run discarded before measurement
+	// (the paper uses two thirds of its traces for warmup).
+	WarmupFrac float64
+}
+
+// Default returns the Table III baseline: 16 cores, 64 KB L1d (2-cycle),
+// 4 MB 16-way L2 (13-cycle).
+func Default() Config {
+	return Config{
+		Cores:      16,
+		L1:         cache.Config{Name: "L1D", SizeBytes: 64 << 10, Ways: 8, Latency: 2},
+		L2:         cache.Config{Name: "L2", SizeBytes: 4 << 20, Ways: 16, Latency: 13},
+		HideCycles: 30,
+		MLP:        1,
+		WarmupFrac: 2.0 / 3.0,
+	}
+}
+
+// Machine wires cores, caches, a DRAM cache design and the DRAM parts into
+// a runnable system.
+type Machine struct {
+	cfg     Config
+	cores   []coreState
+	l2      *cache.Cache
+	design  dramcache.Design
+	stacked *dram.Controller
+	offchip *dram.Controller
+}
+
+type coreState struct {
+	clock  uint64
+	instr  uint64
+	stall  uint64
+	latSum uint64
+	latN   uint64
+	l1     *cache.Cache
+	stream *trace.Stream
+
+	// Measurement checkpoint (set when warmup ends).
+	clock0, instr0 uint64
+}
+
+// New builds a machine. The design must already be wired to the same
+// stacked/offchip controllers passed here (they are shared for stats).
+func New(cfg Config, streams []*trace.Stream, design dramcache.Design, stacked, offchip *dram.Controller) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: need at least one core")
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
+	}
+	if cfg.WarmupFrac < 0 || cfg.WarmupFrac >= 1 {
+		return nil, fmt.Errorf("sim: WarmupFrac %v outside [0,1)", cfg.WarmupFrac)
+	}
+	if cfg.MLP == 0 {
+		cfg.MLP = 1
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, l2: l2, design: design, stacked: stacked, offchip: offchip}
+	m.cores = make([]coreState, cfg.Cores)
+	for i := range m.cores {
+		l1, err := cache.New(cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		m.cores[i] = coreState{l1: l1, stream: streams[i]}
+	}
+	return m, nil
+}
+
+// Results aggregates one run's measurements.
+type Results struct {
+	// UIPC is the summed per-core instructions-per-cycle over the
+	// measured interval — the paper's throughput metric.
+	UIPC float64
+	// Instructions and Cycles are measured-interval totals (cycles is the
+	// max across cores).
+	Instructions uint64
+	Cycles       uint64
+	// Design is the DRAM cache design's statistics snapshot.
+	Design dramcache.Snapshot
+	// Stacked and Offchip are the DRAM parts' activity counters.
+	Stacked dram.Stats
+	Offchip dram.Stats
+	// L2 is the shared-cache statistics.
+	L2 cache.Stats
+	// L1HitRate is averaged across cores.
+	L1HitRate float64
+	// OffchipGBPerKI is off-chip traffic (read+write) per kilo-instruction
+	// in bytes, the bandwidth-efficiency metric.
+	OffchipBytesPerKI float64
+	// AvgDRAMReadLatency is the mean cycles a demand read spent below the
+	// L2 (DRAM cache and/or off-chip memory, including queueing).
+	AvgDRAMReadLatency float64
+}
+
+// Run replays accessesPerCore events on every core (warmup fraction
+// included) and returns measured-interval results.
+func (m *Machine) Run(accessesPerCore int) Results {
+	if accessesPerCore <= 0 {
+		return Results{}
+	}
+	warm := int(float64(accessesPerCore) * m.cfg.WarmupFrac)
+	m.replay(warm)
+	m.resetForMeasurement()
+	m.replay(accessesPerCore - warm)
+	return m.collect()
+}
+
+// replay advances cores lowest-clock-first for eventsPerCore events each.
+func (m *Machine) replay(eventsPerCore int) {
+	if eventsPerCore <= 0 {
+		return
+	}
+	remaining := make([]int, len(m.cores))
+	for i := range remaining {
+		remaining[i] = eventsPerCore
+	}
+	live := len(m.cores)
+	for live > 0 {
+		// Pick the live core with the smallest clock; with 16 cores a
+		// linear scan beats any heap.
+		best := -1
+		for i := range m.cores {
+			if remaining[i] == 0 {
+				continue
+			}
+			if best < 0 || m.cores[i].clock < m.cores[best].clock {
+				best = i
+			}
+		}
+		m.step(best)
+		remaining[best]--
+		if remaining[best] == 0 {
+			live--
+		}
+	}
+}
+
+// step executes one trace event on core i.
+func (m *Machine) step(i int) {
+	c := &m.cores[i]
+	ev := c.stream.Next()
+	c.clock += uint64(ev.Gap)
+	c.instr += uint64(ev.Gap) + 1
+
+	block := ev.Addr.Block()
+	if r := c.l1.Access(block, ev.Write); r.Hit {
+		return // L1 hits are pipelined away.
+	} else if r.Writeback {
+		m.l2Write(r.WritebackBlock, c.clock, i)
+	}
+
+	// L1 miss: look up the shared L2.
+	at := c.clock + c.l1.Latency()
+	l2r := m.l2.Access(block, false)
+	var doneAt uint64
+	if l2r.Hit {
+		doneAt = at + m.l2.Latency()
+	} else {
+		if l2r.Writeback {
+			m.designWrite(l2r.WritebackBlock, at+m.l2.Latency(), i)
+		}
+		resp := m.design.Access(dramcache.Request{
+			Addr: ev.Addr,
+			PC:   ev.PC,
+			Core: i,
+			At:   at + m.l2.Latency(),
+		})
+		doneAt = resp.DoneAt
+		if !ev.Write && doneAt > at+m.l2.Latency() {
+			c.latSum += doneAt - (at + m.l2.Latency())
+			c.latN++
+		}
+	}
+
+	if ev.Write {
+		return // Stores retire through the write buffer.
+	}
+	lat := doneAt - c.clock
+	if lat > m.cfg.HideCycles {
+		stall := (lat - m.cfg.HideCycles) / m.cfg.MLP
+		c.clock += stall
+		c.stall += stall
+	}
+}
+
+// l2Write absorbs an L1 dirty victim into the L2, forwarding any L2 victim
+// to the DRAM cache.
+func (m *Machine) l2Write(block uint64, at uint64, core int) {
+	r := m.l2.Access(block, true)
+	if r.Writeback {
+		m.designWrite(r.WritebackBlock, at+m.l2.Latency(), core)
+	}
+}
+
+// designWrite sends an L2 dirty victim to the DRAM cache design.
+func (m *Machine) designWrite(block uint64, at uint64, core int) {
+	m.design.Access(dramcache.Request{
+		Addr:  mem.BlockAddr(block),
+		Core:  core,
+		Write: true,
+		At:    at,
+	})
+}
+
+// resetForMeasurement marks the warmup/measurement boundary: statistics
+// reset everywhere, state (cache content, predictor training, row buffers,
+// core clocks) stays warm.
+func (m *Machine) resetForMeasurement() {
+	m.design.ResetStats()
+	m.stacked.ResetStats()
+	m.offchip.ResetStats()
+	m.l2.ResetStats()
+	for i := range m.cores {
+		c := &m.cores[i]
+		c.l1.ResetStats()
+		c.clock0 = c.clock
+		c.instr0 = c.instr
+		c.stall = 0
+		c.latSum, c.latN = 0, 0
+	}
+}
+
+// collect assembles the measured-interval results.
+func (m *Machine) collect() Results {
+	var res Results
+	var l1Hit float64
+	var maxCycles uint64
+	for i := range m.cores {
+		c := &m.cores[i]
+		instr := c.instr - c.instr0
+		cycles := c.clock - c.clock0
+		res.Instructions += instr
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+		if cycles > 0 {
+			res.UIPC += float64(instr) / float64(cycles)
+		}
+		l1Hit += c.l1.Stats().HitRate()
+	}
+	var latSum, latN uint64
+	for i := range m.cores {
+		latSum += m.cores[i].latSum
+		latN += m.cores[i].latN
+	}
+	if latN > 0 {
+		res.AvgDRAMReadLatency = float64(latSum) / float64(latN)
+	}
+	res.Cycles = maxCycles
+	res.L1HitRate = l1Hit / float64(len(m.cores))
+	res.Design = m.design.Snapshot()
+	res.Stacked = m.stacked.Stats()
+	res.Offchip = m.offchip.Stats()
+	res.L2 = m.l2.Stats()
+	if res.Instructions > 0 {
+		total := res.Design.OffchipReadBytes + res.Design.OffchipWriteBytes
+		res.OffchipBytesPerKI = float64(total) * 1000 / float64(res.Instructions)
+	}
+	return res
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+	"unisoncache/internal/trace"
+)
+
+func testStreams(t *testing.T, cores int, workload string) []*trace.Stream {
+	t.Helper()
+	streams := make([]*trace.Stream, cores)
+	for i := range streams {
+		s, err := trace.NewStream(trace.Profiles()[workload], 42, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
+func testMachine(t *testing.T, cfg Config, workload string, design func(s, o *dram.Controller) dramcache.Design) *Machine {
+	t.Helper()
+	s, err := dram.NewController(dram.StackedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := dram.NewController(dram.OffchipConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, testStreams(t, cfg.Cores, workload), design(s, o), s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func noneDesign(s, o *dram.Controller) dramcache.Design  { return dramcache.NewNone(o) }
+func idealDesign(s, o *dram.Controller) dramcache.Design { return dramcache.NewIdeal(s) }
+
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	cfg := Default()
+	if cfg.Cores != 16 {
+		t.Errorf("cores = %d, want 16", cfg.Cores)
+	}
+	if cfg.L1.SizeBytes != 64<<10 || cfg.L1.Latency != 2 {
+		t.Errorf("L1 = %+v", cfg.L1)
+	}
+	if cfg.L2.SizeBytes != 4<<20 || cfg.L2.Ways != 16 || cfg.L2.Latency != 13 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.WarmupFrac < 0.6 || cfg.WarmupFrac > 0.7 {
+		t.Errorf("warmup fraction = %v, want ~2/3", cfg.WarmupFrac)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s, _ := dram.NewController(dram.StackedConfig())
+	o, _ := dram.NewController(dram.OffchipConfig())
+	cfg := Default()
+	cfg.Cores = 2
+	if _, err := New(cfg, nil, dramcache.NewNone(o), s, o); err == nil {
+		t.Error("stream/core mismatch accepted")
+	}
+	cfg.Cores = 0
+	if _, err := New(cfg, nil, dramcache.NewNone(o), s, o); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = Default()
+	cfg.Cores = 1
+	cfg.WarmupFrac = 1.0
+	st := make([]*trace.Stream, 1)
+	st[0], _ = trace.NewStream(trace.Profiles()["web-search"], 1, 0)
+	if _, err := New(cfg, st, dramcache.NewNone(o), s, o); err == nil {
+		t.Error("WarmupFrac=1 accepted")
+	}
+}
+
+func TestRunProducesWork(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	m := testMachine(t, cfg, "web-serving", noneDesign)
+	res := m.Run(5000)
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Fatalf("empty results: %+v", res)
+	}
+	if res.UIPC <= 0 || res.UIPC > float64(cfg.Cores) {
+		t.Errorf("UIPC = %v out of (0,%d]", res.UIPC, cfg.Cores)
+	}
+	if res.L1HitRate <= 0 || res.L1HitRate >= 1 {
+		t.Errorf("L1 hit rate = %v", res.L1HitRate)
+	}
+	if res.Design.Reads == 0 {
+		t.Error("no demand reads reached the DRAM level")
+	}
+	if res.OffchipBytesPerKI <= 0 {
+		t.Error("no off-chip traffic recorded")
+	}
+}
+
+func TestRunZeroAccesses(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 1
+	m := testMachine(t, cfg, "web-search", noneDesign)
+	if res := m.Run(0); res.Instructions != 0 {
+		t.Error("zero-access run produced work")
+	}
+}
+
+func TestIdealOutperformsBaseline(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	base := testMachine(t, cfg, "data-serving", noneDesign).Run(8000)
+	ideal := testMachine(t, cfg, "data-serving", idealDesign).Run(8000)
+	if ideal.UIPC <= base.UIPC {
+		t.Errorf("ideal UIPC %v <= baseline %v", ideal.UIPC, base.UIPC)
+	}
+	if ideal.OffchipBytesPerKI != 0 {
+		t.Error("ideal design produced off-chip traffic")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	r1 := testMachine(t, cfg, "software-testing", noneDesign).Run(4000)
+	r2 := testMachine(t, cfg, "software-testing", noneDesign).Run(4000)
+	if r1.UIPC != r2.UIPC || r1.Instructions != r2.Instructions || r1.Cycles != r2.Cycles {
+		t.Errorf("identical runs diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.WarmupFrac = 0.5
+	m := testMachine(t, cfg, "web-search", noneDesign)
+	res := m.Run(4000)
+	// Measured reads must be roughly half of an unwarmed run's.
+	m2 := testMachine(t, cfg, "web-search", noneDesign)
+	m2.cfg.WarmupFrac = 0
+	res2 := m2.Run(4000)
+	if res.Design.Reads >= res2.Design.Reads {
+		t.Errorf("warmup not excluded: %d >= %d", res.Design.Reads, res2.Design.Reads)
+	}
+}
+
+func TestCoreClocksStayInterleaved(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 8
+	m := testMachine(t, cfg, "tpch", noneDesign)
+	m.Run(3000)
+	var minC, maxC uint64 = ^uint64(0), 0
+	for i := range m.cores {
+		c := m.cores[i].clock
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == 0 {
+		t.Fatal("a core never advanced")
+	}
+	if float64(maxC-minC)/float64(maxC) > 0.5 {
+		t.Errorf("core clocks diverged: min %d max %d", minC, maxC)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	// A write-heavy run must not be slower than a read-heavy one at equal
+	// miss traffic — indirectly verified by UIPC being finite and > 0
+	// with 100% writes is impossible via profiles, so check the stall
+	// accounting instead: stalls only accumulate on loads.
+	cfg := Default()
+	cfg.Cores = 1
+	m := testMachine(t, cfg, "data-serving", noneDesign)
+	m.Run(3000)
+	c := &m.cores[0]
+	if c.stall == 0 {
+		t.Error("no load stalls recorded on a memory-bound baseline")
+	}
+	if c.stall > c.clock {
+		t.Error("stall cycles exceed total cycles")
+	}
+}
+
+func TestHideCyclesReduceStalls(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	slow := testMachine(t, cfg, "web-serving", noneDesign).Run(4000)
+	cfg.HideCycles = 200
+	fast := testMachine(t, cfg, "web-serving", noneDesign).Run(4000)
+	if fast.UIPC <= slow.UIPC {
+		t.Errorf("larger OoO window did not help: %v <= %v", fast.UIPC, slow.UIPC)
+	}
+}

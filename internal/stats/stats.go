@@ -1,0 +1,205 @@
+// Package stats provides the light-weight counters, ratios, histograms and
+// confidence-interval helpers the simulator and the experiment harness use
+// to report results. Everything is plain in-memory arithmetic; there is no
+// locking because each simulated core owns its own counters and the engine
+// aggregates them single-threaded.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ratio is a numerator/denominator pair, the workhorse for hit ratios,
+// predictor accuracies and overfetch fractions.
+type Ratio struct {
+	Num, Den uint64
+}
+
+// Add accumulates one observation: hit says whether the numerator event
+// occurred.
+func (r *Ratio) Add(hit bool) {
+	r.Den++
+	if hit {
+		r.Num++
+	}
+}
+
+// AddN accumulates num events out of den trials.
+func (r *Ratio) AddN(num, den uint64) {
+	r.Num += num
+	r.Den += den
+}
+
+// Value returns the ratio, or 0 if nothing was recorded.
+func (r Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Percent returns the ratio scaled to percent.
+func (r Ratio) Percent() float64 { return r.Value() * 100 }
+
+// Complement returns 1 - Value as a percentage (e.g. miss ratio from hits).
+func (r Ratio) ComplementPercent() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return 100 - r.Percent()
+}
+
+// Merge folds other into r.
+func (r *Ratio) Merge(other Ratio) {
+	r.Num += other.Num
+	r.Den += other.Den
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Num, r.Den, r.Percent())
+}
+
+// Mean accumulates a running mean/variance using Welford's algorithm.
+type Mean struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the sample count.
+func (m Mean) N() uint64 { return m.n }
+
+// Value returns the mean.
+func (m Mean) Value() float64 { return m.mean }
+
+// Variance returns the sample variance.
+func (m Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (the SimFlex-style error bound the paper
+// quotes: "average error of less than 2% at a 95% confidence level").
+func (m Mean) CI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return 1.96 * m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// Histogram is a fixed-bucket histogram over small non-negative integers
+// (footprint densities, burst lengths, way indices).
+type Histogram struct {
+	buckets []uint64
+	total   uint64
+	sum     uint64
+}
+
+// NewHistogram creates a histogram with buckets 0..max; larger samples are
+// clamped into the last bucket.
+func NewHistogram(max int) *Histogram {
+	return &Histogram{buckets: make([]uint64, max+1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+	h.sum += uint64(v)
+}
+
+// Count returns the number of samples in bucket v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the average sample value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Fraction returns the share of samples equal to v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// Percentile returns the smallest bucket value at or below which at least
+// p (0..1) of the samples fall.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.total)))
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// GeoMean returns the geometric mean of xs, the aggregation Figure 7 uses
+// for its "Geometric Mean" panel. Non-positive inputs are rejected.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: GeoMean of empty slice")
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: GeoMean requires positive inputs, got %g", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Median returns the median of xs (xs is not modified).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

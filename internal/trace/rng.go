@@ -1,0 +1,169 @@
+// Package trace generates the synthetic server-workload memory traces that
+// substitute for the paper's CloudSuite and TPC-H traces (Methodology §IV).
+//
+// The generator reproduces the statistical structure the evaluated designs
+// key on, rather than any particular program:
+//
+//   - memory is visited region by region (2 KB regions, Footprint Cache's
+//     page size), with region popularity following a Zipf law over a
+//     multi-gigabyte population — high page-level spatial locality, little
+//     block-level temporal locality, exactly the server-workload regime of
+//     §II;
+//   - every visit is attributed to a PC drawn from a small "function pool",
+//     and the set of blocks touched (the footprint) is a per-PC base
+//     pattern perturbed by noise — making footprints PC-correlated and
+//     learnable, the property the footprint predictor exploits (§III-A.1);
+//   - a configurable fraction of PCs touch a single block (singleton
+//     visits, §III-A.4), modelling pointer-chasing code like the hash-table
+//     lookups the paper calls out in Data Analytics.
+//
+// Everything is deterministically seeded; identical seeds give identical
+// traces.
+package trace
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator: tiny state, high quality,
+// fully deterministic across platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample with the given mean from a geometric
+// distribution over {0, 1, 2, ...}; mean <= 0 returns 0.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	u := r.Float64()
+	// Inverse CDF of the geometric distribution on {0,1,...}.
+	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+}
+
+// Zipf samples ranks in [0, N) under a Zipf-like power law with exponent
+// theta, using the continuous inverse-CDF approximation of a truncated
+// Pareto distribution. Unlike math/rand's Zipf it supports theta <= 1,
+// which server-workload popularity distributions need.
+type Zipf struct {
+	n     uint64
+	theta float64
+	// Precomputed terms of the inverse CDF.
+	oneMinus float64 // 1 - theta
+	scale    float64 // (N+1)^(1-theta) - 1, or ln(N+1) when theta == 1
+}
+
+// NewZipf builds a sampler over [0, n) with skew theta >= 0 (0 = uniform).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("trace: Zipf over empty range")
+	}
+	z := &Zipf{n: n, theta: theta, oneMinus: 1 - theta}
+	if theta == 1 {
+		z.scale = math.Log(float64(n + 1))
+	} else {
+		z.scale = math.Pow(float64(n+1), z.oneMinus) - 1
+	}
+	return z
+}
+
+// Sample draws a rank; rank 0 is the most popular.
+func (z *Zipf) Sample(r *RNG) uint64 {
+	u := r.Float64()
+	var x float64
+	if z.theta == 1 {
+		x = math.Exp(u*z.scale) - 1
+	} else {
+		x = math.Pow(u*z.scale+1, 1/z.oneMinus) - 1
+	}
+	rank := uint64(x)
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// Perm is a deterministic pseudo-random permutation over [0, n), built as a
+// 4-round Feistel network with cycle-walking. It scatters Zipf ranks across
+// the physical address space so hot regions do not cluster in adjacent DRAM
+// rows and cache sets.
+type Perm struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint64
+}
+
+// NewPerm builds a permutation over [0, n) keyed by seed.
+func NewPerm(n uint64, seed uint64) *Perm {
+	if n == 0 {
+		panic("trace: Perm over empty range")
+	}
+	bits := uint(1)
+	for uint64(1)<<bits < n {
+		bits++
+	}
+	if bits%2 == 1 {
+		bits++
+	}
+	p := &Perm{n: n, halfBits: bits / 2, halfMask: uint64(1)<<(bits/2) - 1}
+	r := NewRNG(seed ^ 0xfeedface)
+	for i := range p.keys {
+		p.keys[i] = r.Uint64()
+	}
+	return p
+}
+
+// Apply maps x in [0, n) to its permuted image in [0, n).
+func (p *Perm) Apply(x uint64) uint64 {
+	if x >= p.n {
+		panic("trace: Perm input out of range")
+	}
+	// Cycle-walk: re-encrypt until the image lands inside [0, n).
+	for {
+		l := x >> p.halfBits
+		r := x & p.halfMask
+		for _, k := range p.keys {
+			l, r = r, l^(feistelF(r, k)&p.halfMask)
+		}
+		x = l<<p.halfBits | r
+		if x < p.n {
+			return x
+		}
+	}
+}
+
+func feistelF(r, k uint64) uint64 {
+	x := r ^ k
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

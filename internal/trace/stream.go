@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"unisoncache/internal/mem"
+)
+
+// Event is one memory reference with its leading instruction gap.
+type Event struct {
+	// Gap is the number of non-memory instructions retired before this
+	// access.
+	Gap uint32
+	// Addr is the physical byte address (block-aligned).
+	Addr mem.Addr
+	// PC identifies the instruction (the visit's function).
+	PC uint64
+	// Write marks a store.
+	Write bool
+}
+
+// Stream produces the access stream of one core. Streams sharing a Profile
+// and base seed model threads of one application over shared data: they
+// draw from the same region population and function pool but interleave
+// independently.
+type Stream struct {
+	prof   *Profile
+	rng    *RNG
+	zipfR  *Zipf
+	zipfPC *Zipf
+	perm   *Perm
+
+	// Current visit replay state.
+	pending []Event
+	next    int
+}
+
+// NewStream builds the access stream for one core. All cores of a run share
+// baseSeed (the region permutation key) and differ by core index.
+func NewStream(p *Profile, baseSeed uint64, core int) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stream{
+		prof:   p,
+		rng:    NewRNG(baseSeed*0x9e3779b97f4a7c15 + uint64(core)*0x100000001b3 + 1),
+		zipfR:  NewZipf(p.Regions(), p.ZipfTheta),
+		zipfPC: NewZipf(uint64(p.PCs), p.PCZipfTheta),
+		perm:   NewPerm(p.Regions(), baseSeed),
+	}, nil
+}
+
+// jitterRun grows or shrinks a contiguous run pattern by one block at a
+// random end, modelling scans that stop early or read ahead.
+func jitterRun(pat uint32, rng *RNG) uint32 {
+	if pat == 0 || pat == ^uint32(0)>>(32-RegionBlocks) {
+		return pat
+	}
+	grow := rng.Bernoulli(0.5)
+	for b := 0; b < RegionBlocks; b++ {
+		cur := pat&(1<<b) != 0
+		nxt := pat&(1<<((b+1)%RegionBlocks)) != 0
+		if grow && !cur && nxt {
+			return pat | 1<<b // extend at the head
+		}
+		if !grow && cur && !nxt {
+			return pat &^ (1 << b) // trim at the tail
+		}
+	}
+	return pat
+}
+
+// patternBounds returns the inclusive block range covered by the pattern,
+// widened by one block on each side (clipped to the region).
+func patternBounds(pat uint32) (lo, hi int) {
+	lo, hi = 0, RegionBlocks-1
+	for b := 0; b < RegionBlocks; b++ {
+		if pat&(1<<b) != 0 {
+			lo = b
+			break
+		}
+	}
+	for b := RegionBlocks - 1; b >= 0; b-- {
+		if pat&(1<<b) != 0 {
+			hi = b
+			break
+		}
+	}
+	if lo > 0 {
+		lo--
+	}
+	if hi < RegionBlocks-1 {
+		hi++
+	}
+	return lo, hi
+}
+
+// pcValue maps a function index to a stable, spread-out PC value.
+func pcValue(pcIdx uint64) uint64 {
+	return 0x400000 + mem.Mix64(pcIdx)%(1<<20)*4
+}
+
+// pcDensity derives the deterministic footprint density class of a
+// function: a SingletonPCFrac share of functions touch one block; the rest
+// get a density uniform in [DensityMin, DensityMax].
+func (s *Stream) pcDensity(pcIdx uint64) (density float64, singleton bool) {
+	h := mem.Mix64(pcIdx ^ 0xabcdef)
+	u := float64(h>>11) / (1 << 53)
+	if u < s.prof.SingletonPCFrac {
+		return 0, true
+	}
+	u2 := float64(mem.Mix64(h)>>11) / (1 << 53)
+	return s.prof.DensityMin + u2*(s.prof.DensityMax-s.prof.DensityMin), false
+}
+
+// basePattern derives the function's canonical footprint over a region's 32
+// blocks. It is a pure function of the PC, which is what makes footprints
+// learnable. All footprints are translation-invariant shapes — contiguous
+// runs for scan workloads (column scans, postings lists), strided walks for
+// object traversals: the same shape recurs at whatever alignment the
+// visited region imposes, which is precisely why the (PC, offset) trigger
+// pair predicts footprints across page alignments [10],[27]. Purely random
+// scatter would lack this property — and so do few real access patterns.
+func (s *Stream) basePattern(pcIdx uint64) uint32 {
+	density, singleton := s.pcDensity(pcIdx)
+	if singleton {
+		return 1 << (mem.Mix64(pcIdx^0x5151) % RegionBlocks)
+	}
+	count, stride, start := s.patternShape(pcIdx, density)
+	var pat uint32
+	for i := 0; i < count; i++ {
+		pat |= 1 << (start + i*stride)
+	}
+	return pat
+}
+
+// patternShape derives the run parameters of a function's base pattern:
+// scans are long contiguous reads; non-scan functions touch short object
+// runs. density controls how many blocks the walk touches.
+func (s *Stream) patternShape(pcIdx uint64, density float64) (count, stride, start int) {
+	stride = 1
+	count = int(density*RegionBlocks + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if maxCount := (RegionBlocks-1)/stride + 1; count > maxCount {
+		count = maxCount
+	}
+	span := (count-1)*stride + 1
+	start = int(mem.Mix64(pcIdx^0x9d9d) % uint64(RegionBlocks-span+1))
+	return count, stride, start
+}
+
+// pickRegion draws the visit's region under hierarchical popularity: each
+// function owns a contiguous band of the popularity ranking. Popular
+// functions own small, hot bands (lookup code over hot structures); rare
+// functions own wide, cold bands (scan code sweeping the heap). Band
+// widths grow cubically with function rank, so per-function traffic is
+// strongly hit- or miss-dominated — the bimodality instruction-indexed
+// predictors such as MAP-I exploit — and footprint residency unions stay
+// within correlated code (except for the escape fraction).
+func (s *Stream) pickRegion(pcIdx uint64) uint64 {
+	n := s.prof.Regions()
+	c := uint64(s.prof.AffinityClasses)
+	if c <= 1 || c > n {
+		return s.perm.Apply(s.zipfR.Sample(s.rng))
+	}
+	class := pcIdx % c
+	if s.rng.Bernoulli(s.prof.AffinityEscape) {
+		class = s.rng.Uint64() % c
+	}
+	lo, hi := s.bandBounds(class, c, n)
+	slot := lo + s.rng.Uint64()%(hi-lo)
+	return s.perm.Apply(slot)
+}
+
+// bandBounds returns class k's half-open rank range under a sixth-power
+// band-width law: boundary(k) = n * (k/c)^6. The steep law leaves few
+// fractionally-resident middle classes: most functions are either fully
+// cache-resident (hits) or sweeping far more data than any cache holds
+// (misses), matching the bimodal hit/miss behaviour of real server code.
+func (s *Stream) bandBounds(k, c, n uint64) (lo, hi uint64) {
+	bound := func(i uint64) uint64 {
+		f := float64(i) / float64(c)
+		f3 := f * f * f
+		return uint64(float64(n) * f3 * f3)
+	}
+	lo, hi = bound(k), bound(k+1)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		lo = hi - 1
+	}
+	return lo, hi
+}
+
+// Next returns the next access event, generating a fresh region visit when
+// the current one is exhausted.
+func (s *Stream) Next() Event {
+	for s.next >= len(s.pending) {
+		s.generateVisit()
+	}
+	ev := s.pending[s.next]
+	s.next++
+	return ev
+}
+
+// generateVisit materializes one visit: pick a function, then either sweep
+// several physically consecutive regions (scan workloads) or touch one
+// region with the function's pattern, emitting accesses in ascending order
+// with per-block repeats and instruction gaps.
+func (s *Stream) generateVisit() {
+	s.pending = s.pending[:0]
+	s.next = 0
+
+	pcIdx := s.zipfPC.Sample(s.rng)
+	pc := pcValue(pcIdx)
+	if s.prof.Scan {
+		s.generateScan(pcIdx, pc)
+		return
+	}
+	region := s.pickRegion(pcIdx)
+	base := s.basePattern(pcIdx)
+
+	// Per-visit noise: walks stop early or read ahead (boundary jitter),
+	// plus occasional extra touches adjacent to the pattern. Deviations
+	// cluster around the data actually accessed — uniform random flips
+	// would keep inventing brand-new trigger offsets, which neither real
+	// programs nor this generator do.
+	pattern := base
+	if s.prof.PatternNoise > 0 {
+		for i := 0; i < 2; i++ {
+			if s.rng.Bernoulli(s.prof.PatternNoise * RegionBlocks / 4) {
+				pattern = jitterRun(pattern, s.rng)
+			}
+		}
+		lo, hi := patternBounds(base)
+		for b := lo; b <= hi; b++ {
+			if s.rng.Bernoulli(s.prof.PatternNoise / 2) {
+				pattern ^= 1 << b
+			}
+		}
+	}
+	if pattern == 0 {
+		pattern = base
+	}
+
+	regionBase := region * RegionBlocks
+	for b := 0; b < RegionBlocks; b++ {
+		if pattern&(1<<b) == 0 {
+			continue
+		}
+		addr := mem.BlockAddr(regionBase + uint64(b))
+		repeats := 1 + s.rng.Geometric(s.prof.RepeatMean)
+		for rep := 0; rep < repeats; rep++ {
+			s.pending = append(s.pending, Event{
+				Gap:   uint32(s.rng.Geometric(s.prof.GapMean)),
+				Addr:  addr,
+				PC:    pc,
+				Write: s.rng.Bernoulli(s.prof.WriteFrac),
+			})
+		}
+	}
+}
+
+// generateScan emits one multi-region sequential sweep: scans cover 2-7
+// physically consecutive 2 KB regions (4-14 KB), fully reading interior
+// regions and partially reading the two boundary ones. Long physically
+// contiguous sweeps are what make scan footprints page-size-agnostic:
+// whatever page granularity a cache uses, its interior pages are touched
+// end to end, so the (PC, offset) trigger predicts them exactly.
+func (s *Stream) generateScan(pcIdx, pc uint64) {
+	n := s.prof.Regions()
+	base := s.pickRegion(pcIdx)
+	density, _ := s.pcDensity(pcIdx)
+	regions := 3 + int(mem.Mix64(pcIdx^0x5cab)%8)
+	// Boundary trims derive from the function (stable) plus jitter.
+	// Scans start part-way into their first allocation unit but end at a
+	// region boundary (column chunks and postings lists are allocated in
+	// region-sized units).
+	headTrim := int(mem.Mix64(pcIdx^0xeadd) % (RegionBlocks / 2))
+	tailTrim := 0
+	if s.prof.PatternNoise > 0 && s.rng.Bernoulli(s.prof.PatternNoise*8) {
+		headTrim += s.rng.Intn(3) - 1
+	}
+	// density scales the sweep: sparse scan functions make short sweeps.
+	if density < 0.5 && regions > 3 {
+		regions = 3
+	}
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	headTrim = clamp(headTrim, 0, RegionBlocks-1)
+	tailTrim = clamp(tailTrim, 0, RegionBlocks-1)
+	for i := 0; i < regions; i++ {
+		region := base + uint64(i)
+		if region >= n {
+			break
+		}
+		lo, hi := 0, RegionBlocks
+		if i == 0 {
+			lo = headTrim
+		}
+		if i == regions-1 {
+			hi = RegionBlocks - tailTrim
+		}
+		if hi <= lo {
+			continue
+		}
+		s.emitRange(region, lo, hi, pc)
+	}
+	if len(s.pending) == 0 {
+		s.emitRange(base, 0, RegionBlocks, pc)
+	}
+}
+
+// emitRange appends accesses for blocks [lo, hi) of region.
+func (s *Stream) emitRange(region uint64, lo, hi int, pc uint64) {
+	regionBase := region * RegionBlocks
+	for b := lo; b < hi; b++ {
+		addr := mem.BlockAddr(regionBase + uint64(b))
+		repeats := 1 + s.rng.Geometric(s.prof.RepeatMean)
+		for rep := 0; rep < repeats; rep++ {
+			s.pending = append(s.pending, Event{
+				Gap:   uint32(s.rng.Geometric(s.prof.GapMean)),
+				Addr:  addr,
+				PC:    pc,
+				Write: s.rng.Bernoulli(s.prof.WriteFrac),
+			})
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package unisoncache is a from-scratch reproduction of "Unison Cache: A
+// Scalable and Effective Die-Stacked DRAM Cache" (Jevdjic, Loh, Kaynak,
+// Falsafi — MICRO 2014) as a standalone Go simulation library.
+//
+// It bundles a command-level DRAM timing model, an SRAM cache hierarchy, a
+// synthetic server-workload generator, and four die-stacked DRAM cache
+// designs — Unison Cache (the paper's contribution), Alloy Cache, Footprint
+// Cache and an ideal latency-optimized cache — behind one entry point:
+// configure a Run, call Execute, read the Result.
+//
+//	res, err := unisoncache.Execute(unisoncache.Run{
+//	    Workload: "web-search",
+//	    Design:   unisoncache.DesignUnison,
+//	    Capacity: 1 << 30,
+//	})
+//
+// Everything is deterministic for a fixed Seed. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+package unisoncache
+
+import (
+	"fmt"
+
+	"unisoncache/internal/config"
+	"unisoncache/internal/core"
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+	"unisoncache/internal/mem"
+	"unisoncache/internal/sim"
+	"unisoncache/internal/trace"
+)
+
+// DesignKind selects the DRAM cache organization under test.
+type DesignKind string
+
+// The evaluated designs (§IV-C plus the two Figure 7 references).
+const (
+	// DesignUnison is the paper's contribution: 960 B pages, 4-way,
+	// in-DRAM tags, way + footprint prediction.
+	DesignUnison DesignKind = "unison"
+	// DesignUnison1984 is the 1984 B-page design point of Table V.
+	DesignUnison1984 DesignKind = "unison-1984"
+	// DesignAlloy is the state-of-the-art block-based baseline [24].
+	DesignAlloy DesignKind = "alloy"
+	// DesignFootprint is the state-of-the-art page-based baseline [10].
+	DesignFootprint DesignKind = "footprint"
+	// DesignLohHill is the earlier block-based design of Loh & Hill [20]:
+	// row-as-set tags in DRAM with serialized tag-then-data lookups and a
+	// MissMap (discussed in §II-A as Alloy Cache's predecessor).
+	DesignLohHill DesignKind = "lohhill"
+	// DesignIdeal never misses and has no tag overhead (die-stacked main
+	// memory).
+	DesignIdeal DesignKind = "ideal"
+	// DesignNone is the no-DRAM-cache baseline every speedup is relative
+	// to.
+	DesignNone DesignKind = "none"
+)
+
+// Designs lists all selectable designs.
+func Designs() []DesignKind {
+	return []DesignKind{DesignUnison, DesignUnison1984, DesignAlloy, DesignFootprint, DesignLohHill, DesignIdeal, DesignNone}
+}
+
+// Workloads lists the six workload names (CloudSuite five plus TPC-H).
+func Workloads() []string { return trace.Names() }
+
+// Run configures one simulation.
+type Run struct {
+	// Workload is one of Workloads().
+	Workload string
+	// Design is the DRAM cache organization under test.
+	Design DesignKind
+	// Capacity is the stacked-DRAM cache capacity in bytes.
+	Capacity uint64
+	// AccessesPerCore is the trace length per core, warmup included
+	// (default 400k; the first WarmupFrac is discarded).
+	AccessesPerCore int
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// Cores overrides the 16-core default.
+	Cores int
+	// ScaleDivisor applies the proportional-scaling methodology: the
+	// simulated cache capacity and the workload working set are both
+	// divided by this factor, preserving every capacity-to-working-set
+	// ratio while making multi-gigabyte configurations tractable without
+	// the paper's 30-billion-instruction traces. The default (0) picks
+	// the divisor automatically so the simulated cache is at most 64 MB —
+	// small enough to fill, evict and reach predictor steady state within
+	// a few hundred thousand accesses per core. Latency-relevant
+	// parameters — the Footprint Cache tag-array latency (Table IV) and
+	// the way-predictor sizing — remain keyed to the *labeled* Capacity,
+	// because the real hardware structures scale with it. Set to 1 for
+	// full-scale simulation (needs very long traces), or -1 for the
+	// automatic choice spelled explicitly.
+	ScaleDivisor int
+
+	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
+	// sweeps 1/4/32).
+	UnisonWays int
+	// Ablations (Unison only).
+	DisableWayPrediction bool
+	SerializeTagData     bool
+	DisableSingleton     bool
+
+	// FCWays overrides Footprint Cache's 32-way associativity.
+	FCWays int
+}
+
+// withDefaults fills zero fields.
+func (r Run) withDefaults() Run {
+	if r.AccessesPerCore == 0 {
+		r.AccessesPerCore = 400_000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Cores == 0 {
+		r.Cores = 16
+	}
+	if r.UnisonWays == 0 {
+		r.UnisonWays = 4
+	}
+	if r.FCWays == 0 {
+		r.FCWays = 32
+	}
+	if r.ScaleDivisor == 0 || r.ScaleDivisor == -1 {
+		r.ScaleDivisor = autoScale(r.Capacity)
+	}
+	return r
+}
+
+// autoScale picks the divisor that maps the labeled capacity to at most a
+// 32 MB simulated cache, with a floor of 16 so even the smallest design
+// point stays proportionally scaled. The 32 MB cap is what lets a run
+// cycle the cache's full capacity several times within a few hundred
+// thousand accesses per core — the predictor-training steady state the
+// paper reaches with 30-billion-instruction traces.
+func autoScale(capacity uint64) int {
+	d := 16
+	for capacity/uint64(d) > 32<<20 {
+		d *= 2
+	}
+	return d
+}
+
+// Result is one simulation's measured output.
+type Result struct {
+	sim.Results
+	// Run echoes the (defaulted) configuration.
+	Run Run
+}
+
+// MissRatioPct is the DRAM cache demand-read miss ratio in percent.
+func (r Result) MissRatioPct() float64 { return r.Design.MissRatioPct() }
+
+// Execute runs one simulation to completion.
+func Execute(r Run) (Result, error) {
+	r = r.withDefaults()
+	prof, ok := trace.Profiles()[r.Workload]
+	if !ok {
+		return Result{}, fmt.Errorf("unisoncache: unknown workload %q (have %v)", r.Workload, Workloads())
+	}
+	if r.ScaleDivisor < 1 {
+		return Result{}, fmt.Errorf("unisoncache: ScaleDivisor must be >= 1, got %d", r.ScaleDivisor)
+	}
+	scaled := *prof
+	scaled.WorkingSetBytes = prof.WorkingSetBytes / uint64(r.ScaleDivisor)
+	if scaled.WorkingSetBytes < trace.RegionBytes {
+		scaled.WorkingSetBytes = trace.RegionBytes
+	}
+	prof = &scaled
+	stacked, err := dram.NewController(dram.StackedConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	offchip, err := dram.NewController(dram.OffchipConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	design, err := buildDesign(r, stacked, offchip)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sim.Default()
+	cfg.Cores = r.Cores
+	// The proportional-scaling methodology shrinks the L2 with the same
+	// divisor (floor 256 KB) so the L2:DRAM-cache capacity ratio — which
+	// controls how much re-reference traffic the DRAM cache actually sees
+	// — stays faithful to the full-scale system.
+	if scaledL2 := cfg.L2.SizeBytes / r.ScaleDivisor; scaledL2 >= 128<<10 {
+		cfg.L2.SizeBytes = scaledL2
+	} else {
+		cfg.L2.SizeBytes = 128 << 10
+	}
+	streams := make([]*trace.Stream, cfg.Cores)
+	for i := range streams {
+		streams[i], err = trace.NewStream(prof, r.Seed, i)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	machine, err := sim.New(cfg, streams, design, stacked, offchip)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
+}
+
+// buildDesign constructs the requested design over the DRAM parts. The
+// simulated structures are sized by the scaled capacity; latency-relevant
+// parameters (FC tag latency, way-predictor width) use the labeled one.
+func buildDesign(r Run, stacked, offchip *dram.Controller) (dramcache.Design, error) {
+	simCap := r.Capacity / uint64(r.ScaleDivisor)
+	if simCap < mem.RowBytes {
+		simCap = mem.RowBytes
+	}
+	switch r.Design {
+	case DesignUnison, DesignUnison1984:
+		pageBlocks := 15
+		if r.Design == DesignUnison1984 {
+			pageBlocks = 31
+		}
+		return core.New(core.Config{
+			CapacityBytes:        simCap,
+			LabelBytes:           r.Capacity,
+			PageBlocks:           pageBlocks,
+			Ways:                 r.UnisonWays,
+			DisableWayPrediction: r.DisableWayPrediction,
+			SerializeTagData:     r.SerializeTagData,
+			DisableSingleton:     r.DisableSingleton,
+		}, stacked, offchip)
+	case DesignAlloy:
+		return dramcache.NewAlloy(simCap, r.Cores, stacked, offchip)
+	case DesignFootprint:
+		return dramcache.NewFootprint(dramcache.FCConfig{
+			CapacityBytes: simCap,
+			Ways:          r.FCWays,
+			TagLatency:    config.FCTagLatency(r.Capacity),
+		}, stacked, offchip)
+	case DesignLohHill:
+		return dramcache.NewLohHill(simCap, stacked, offchip)
+	case DesignIdeal:
+		return dramcache.NewIdeal(stacked), nil
+	case DesignNone:
+		return dramcache.NewNone(offchip), nil
+	default:
+		return nil, fmt.Errorf("unisoncache: unknown design %q", r.Design)
+	}
+}
+
+// Speedup runs the design and the no-cache baseline on identical traces and
+// returns design UIPC / baseline UIPC — the Figure 7/8 metric — along with
+// both results.
+func Speedup(r Run) (speedup float64, design, baseline Result, err error) {
+	design, err = Execute(r)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	base := r
+	base.Design = DesignNone
+	baseline, err = Execute(base)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	if baseline.UIPC == 0 {
+		return 0, design, baseline, fmt.Errorf("unisoncache: baseline UIPC is zero")
+	}
+	return design.UIPC / baseline.UIPC, design, baseline, nil
+}

@@ -1,0 +1,187 @@
+package unisoncache_test
+
+import (
+	"testing"
+
+	uc "unisoncache"
+)
+
+// short keeps facade tests fast: the scaled caches still cycle.
+const short = 40_000
+
+func run(t *testing.T, r uc.Run) uc.Result {
+	t.Helper()
+	if r.AccessesPerCore == 0 {
+		r.AccessesPerCore = short
+	}
+	res, err := uc.Execute(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWorkloadsAndDesignsEnumerate(t *testing.T) {
+	if len(uc.Workloads()) != 6 {
+		t.Errorf("Workloads() = %v, want 6", uc.Workloads())
+	}
+	if len(uc.Designs()) != 7 {
+		t.Errorf("Designs() = %v, want 7", uc.Designs())
+	}
+}
+
+func TestExecuteRejectsBadInput(t *testing.T) {
+	if _, err := uc.Execute(uc.Run{Workload: "nope", Design: uc.DesignUnison, Capacity: 1 << 30}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := uc.Execute(uc.Run{Workload: "web-search", Design: "bogus", Capacity: 1 << 30}); err == nil {
+		t.Error("unknown design accepted")
+	}
+	if _, err := uc.Execute(uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 1 << 30, ScaleDivisor: -2}); err == nil {
+		t.Error("negative scale divisor accepted")
+	}
+}
+
+func TestExecuteAllDesignsAllWorkloadsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-product")
+	}
+	for _, w := range uc.Workloads() {
+		for _, d := range uc.Designs() {
+			res := run(t, uc.Run{Workload: w, Design: d, Capacity: 256 << 20, AccessesPerCore: 8000})
+			if res.UIPC <= 0 {
+				t.Errorf("%s/%s: UIPC = %v", w, d, res.UIPC)
+			}
+			if res.Design.Reads == 0 {
+				t.Errorf("%s/%s: no DRAM-level reads", w, d)
+			}
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 256 << 20, Seed: 9})
+	b := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 256 << 20, Seed: 9})
+	if a.UIPC != b.UIPC || a.Cycles != b.Cycles || a.Design.Reads != b.Design.Reads ||
+		a.Design.ReadHits != b.Design.ReadHits || *a.Design.FP != *b.Design.FP {
+		t.Error("identical runs diverged")
+	}
+	c := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 256 << 20, Seed: 10})
+	if a.UIPC == c.UIPC && a.Cycles == c.Cycles {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestIdealBeatsEverything(t *testing.T) {
+	ideal := run(t, uc.Run{Workload: "web-search", Design: uc.DesignIdeal, Capacity: 512 << 20})
+	for _, d := range []uc.DesignKind{uc.DesignNone, uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison} {
+		res := run(t, uc.Run{Workload: "web-search", Design: d, Capacity: 512 << 20})
+		if res.UIPC >= ideal.UIPC {
+			t.Errorf("%s UIPC %.2f >= ideal %.2f", d, res.UIPC, ideal.UIPC)
+		}
+	}
+}
+
+func TestPageBasedDesignsBeatAlloyOnMissRatio(t *testing.T) {
+	// The Figure 6 headline: page-based designs exploit spatial locality.
+	alloy := run(t, uc.Run{Workload: "web-search", Design: uc.DesignAlloy, Capacity: 512 << 20})
+	fc := run(t, uc.Run{Workload: "web-search", Design: uc.DesignFootprint, Capacity: 512 << 20})
+	unison := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 512 << 20})
+	if fc.MissRatioPct() >= alloy.MissRatioPct()/2 {
+		t.Errorf("FC miss %.1f%% not well below Alloy %.1f%%", fc.MissRatioPct(), alloy.MissRatioPct())
+	}
+	if unison.MissRatioPct() >= alloy.MissRatioPct()/2 {
+		t.Errorf("Unison miss %.1f%% not well below Alloy %.1f%%", unison.MissRatioPct(), alloy.MissRatioPct())
+	}
+}
+
+func TestUnisonHighHitRatio(t *testing.T) {
+	// §III-A: "often 90% or better" at large sizes on spatial workloads.
+	res := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 1 << 30, AccessesPerCore: 80_000})
+	if hit := 100 - res.MissRatioPct(); hit < 85 {
+		t.Errorf("Unison hit ratio %.1f%%, want >= 85%%", hit)
+	}
+}
+
+func TestUnisonBeatsAlloyAtLargeSizes(t *testing.T) {
+	// The paper's headline: 14% over Alloy Cache at 1GB (geomean). One
+	// workload at reduced length: just require a clear win.
+	a := run(t, uc.Run{Workload: "data-serving", Design: uc.DesignAlloy, Capacity: 1 << 30, AccessesPerCore: 80_000})
+	u := run(t, uc.Run{Workload: "data-serving", Design: uc.DesignUnison, Capacity: 1 << 30, AccessesPerCore: 80_000})
+	if u.UIPC <= a.UIPC {
+		t.Errorf("Unison UIPC %.2f <= Alloy %.2f at 1GB", u.UIPC, a.UIPC)
+	}
+}
+
+func TestMissRatioShrinksWithCapacity(t *testing.T) {
+	small := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 128 << 20})
+	large := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 1 << 30})
+	if large.MissRatioPct() >= small.MissRatioPct() {
+		t.Errorf("miss ratio did not shrink: %.1f%% (128MB) -> %.1f%% (1GB)",
+			small.MissRatioPct(), large.MissRatioPct())
+	}
+}
+
+func TestAssociativityHelps(t *testing.T) {
+	// Figure 5: 4-way beats direct-mapped.
+	dm := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 256 << 20, UnisonWays: 1})
+	w4 := run(t, uc.Run{Workload: "web-serving", Design: uc.DesignUnison, Capacity: 256 << 20, UnisonWays: 4})
+	if w4.MissRatioPct() >= dm.MissRatioPct() {
+		t.Errorf("4-way miss %.1f%% not below direct-mapped %.1f%%", w4.MissRatioPct(), dm.MissRatioPct())
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	sp, design, base, err := uc.Speedup(uc.Run{Workload: "data-serving", Design: uc.DesignIdeal,
+		Capacity: 512 << 20, AccessesPerCore: short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 {
+		t.Errorf("ideal speedup = %.2f, want > 1", sp)
+	}
+	if sp != design.UIPC/base.UIPC {
+		t.Error("speedup inconsistent with component results")
+	}
+	if base.Design.Name != "none" {
+		t.Errorf("baseline design = %s", base.Design.Name)
+	}
+}
+
+func TestSnapshotFieldsByDesign(t *testing.T) {
+	u := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 256 << 20})
+	if u.Design.FP == nil || u.Design.WP == nil || u.Design.MP != nil {
+		t.Error("unison snapshot predictor fields wrong")
+	}
+	a := run(t, uc.Run{Workload: "web-search", Design: uc.DesignAlloy, Capacity: 256 << 20})
+	if a.Design.MP == nil || a.Design.FP != nil {
+		t.Error("alloy snapshot predictor fields wrong")
+	}
+	f := run(t, uc.Run{Workload: "web-search", Design: uc.DesignFootprint, Capacity: 256 << 20})
+	if f.Design.FP == nil || f.Design.WP != nil {
+		t.Error("footprint snapshot predictor fields wrong")
+	}
+}
+
+func TestScaleDivisorExplicit(t *testing.T) {
+	res := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 1 << 30, ScaleDivisor: 64})
+	if res.Run.ScaleDivisor != 64 {
+		t.Errorf("ScaleDivisor = %d, want 64", res.Run.ScaleDivisor)
+	}
+	auto := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 8 << 30, AccessesPerCore: 8000})
+	if got := auto.Run.ScaleDivisor; got != 256 {
+		t.Errorf("auto ScaleDivisor for 8GB = %d, want 256 (32MB cap)", got)
+	}
+}
+
+func TestOffchipTrafficOrdering(t *testing.T) {
+	// Page-based designs with footprint prediction must not blow up
+	// off-chip traffic versus the baseline by more than the overfetch
+	// margin (the bandwidth-efficiency claim of §V-A).
+	base := run(t, uc.Run{Workload: "web-search", Design: uc.DesignNone, Capacity: 512 << 20})
+	u := run(t, uc.Run{Workload: "web-search", Design: uc.DesignUnison, Capacity: 512 << 20})
+	if u.OffchipBytesPerKI > base.OffchipBytesPerKI*1.5 {
+		t.Errorf("Unison off-chip %.0f B/KI vs baseline %.0f: overfetch out of control",
+			u.OffchipBytesPerKI, base.OffchipBytesPerKI)
+	}
+}
