@@ -127,6 +127,53 @@ func BenchmarkFig7Performance(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Sweep measures the sweep engine on a reduced Figure 7
+// matrix (2 workloads x 2 sizes x 4 designs). "serial" is the
+// pre-runner path — one Execute per design point plus one DesignNone
+// Execute per point; "engine" is SpeedupMany, which fans the same points
+// over the worker pool and runs each cell's baseline once instead of four
+// times (20 executions instead of 32, concurrently). Both produce
+// bit-identical speedups.
+func BenchmarkFig7Sweep(b *testing.B) {
+	sweep := uc.Sweep{
+		Base:       uc.Run{AccessesPerCore: 20_000},
+		Workloads:  []string{"web-search", "data-serving"},
+		Capacities: []uint64{256 << 20, 1 << 30},
+		Designs:    []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal},
+	}
+	points := sweep.Points()
+	b.Run("serial", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			for _, r := range points {
+				res, err := uc.Execute(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base := r
+				base.Design = uc.DesignNone
+				baseRes, err := uc.Execute(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.UIPC / baseRes.UIPC
+			}
+		}
+		b.ReportMetric(last, "last_speedup")
+	})
+	b.Run("engine", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			results, err := uc.SpeedupMany(uc.Plan{Points: points})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = results[len(results)-1].Speedup
+		}
+		b.ReportMetric(last, "last_speedup")
+	})
+}
+
 // BenchmarkFig8TPCH regenerates the Figure 8 extremes: TPC-H at 1 GB and
 // 8 GB for Unison Cache.
 func BenchmarkFig8TPCH(b *testing.B) {

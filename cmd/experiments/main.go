@@ -27,6 +27,19 @@ type options struct {
 	seed      uint64
 	workloads []string
 	outDir    string
+	jobs      int
+}
+
+// plan wraps a point list with the sweep engine's execution policy: the
+// -jobs worker count and a live progress ticker on stderr.
+func (o options) plan(points []uc.Run) uc.Plan {
+	return uc.Plan{Points: points, Jobs: o.jobs, Progress: os.Stderr}
+}
+
+// run fills the shared fields every experiment point carries.
+func (o options) run(workload string, design uc.DesignKind, capacity uint64) uc.Run {
+	return uc.Run{Workload: workload, Design: design, Capacity: capacity,
+		AccessesPerCore: o.accesses, Seed: o.seed}
 }
 
 func main() {
@@ -36,9 +49,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter")
 	out := flag.String("out", "results", "CSV output directory")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = one per CPU)")
 	flag.Parse()
 
-	opt := options{accesses: *accesses, seed: *seed, outDir: *out}
+	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs}
 	if opt.accesses == 0 {
 		opt.accesses = 400_000
 		if *quick {
@@ -157,37 +171,24 @@ func table5(opt options) error {
 	var rows [][]string
 	fmt.Printf("%-18s %8s %8s | %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
 		"workload", "MP.acc", "MP.ovf", "FC.acc", "FC.ovf", "U960.acc", "U960.ovf", "U960.wp", "U1984.ac", "U1984.ov", "U1984.wp")
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignUnison1984}
+	var points []uc.Run
 	for _, w := range opt.workloads {
 		capacity := uint64(1 << 30)
 		if w == "tpch" {
 			capacity = 8 << 30
 		}
-		base := uc.Run{Workload: w, Capacity: capacity, AccessesPerCore: opt.accesses, Seed: opt.seed}
-
-		ac := base
-		ac.Design = uc.DesignAlloy
-		acRes, err := uc.Execute(ac)
-		if err != nil {
-			return err
+		for _, d := range designs {
+			points = append(points, opt.run(w, d, capacity))
 		}
-		fc := base
-		fc.Design = uc.DesignFootprint
-		fcRes, err := uc.Execute(fc)
-		if err != nil {
-			return err
-		}
-		u960 := base
-		u960.Design = uc.DesignUnison
-		u960Res, err := uc.Execute(u960)
-		if err != nil {
-			return err
-		}
-		u1984 := base
-		u1984.Design = uc.DesignUnison1984
-		u1984Res, err := uc.Execute(u1984)
-		if err != nil {
-			return err
-		}
+	}
+	results, err := uc.ExecuteMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for i, w := range opt.workloads {
+		acRes, fcRes := results[len(designs)*i], results[len(designs)*i+1]
+		u960Res, u1984Res := results[len(designs)*i+2], results[len(designs)*i+3]
 
 		row := []string{w,
 			f1(acRes.Design.MP.Percent()), f1(acRes.Design.MPOverfetchPct),
@@ -210,26 +211,31 @@ func fig5(opt options) error {
 	header := []string{"workload", "size", "ways1", "ways4", "ways32"}
 	var rows [][]string
 	fmt.Printf("%-18s %-8s %8s %8s %8s\n", "workload", "size", "1-way", "4-way", "32-way")
+	waySweep := []int{1, 4, 32}
+	var points []uc.Run
 	for _, w := range opt.workloads {
 		sizes := []uint64{128 << 20, 1 << 30}
 		if w == "tpch" {
 			sizes = []uint64{1 << 30, 8 << 30}
 		}
-		for _, size := range sizes {
-			var miss [3]float64
-			for i, ways := range []int{1, 4, 32} {
-				res, err := uc.Execute(uc.Run{
-					Workload: w, Design: uc.DesignUnison, Capacity: size,
-					AccessesPerCore: opt.accesses, Seed: opt.seed, UnisonWays: ways,
-				})
-				if err != nil {
-					return err
-				}
-				miss[i] = res.MissRatioPct()
-			}
-			rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
-			fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
+		points = append(points, uc.Sweep{
+			Base:       opt.run(w, uc.DesignUnison, 0),
+			Capacities: sizes,
+			UnisonWays: waySweep,
+		}.Points()...)
+	}
+	results, err := uc.ExecuteMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for at := 0; at < len(results); at += len(waySweep) {
+		var miss [3]float64
+		for i := range waySweep {
+			miss[i] = results[at+i].MissRatioPct()
 		}
+		w, size := points[at].Workload, points[at].Capacity
+		rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
+		fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
 	}
 	fmt.Println()
 	return writeCSV(opt, "fig5", header, rows)
@@ -241,26 +247,31 @@ func fig6(opt options) error {
 	header := []string{"workload", "size", "alloy", "footprint", "unison"}
 	var rows [][]string
 	fmt.Printf("%-18s %-8s %8s %8s %8s\n", "workload", "size", "alloy", "footpr", "unison")
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison}
+	var points []uc.Run
 	for _, w := range opt.workloads {
 		sizes := config.CloudSuiteSizes()
 		if w == "tpch" {
 			sizes = config.TPCHSizes()
 		}
-		for _, size := range sizes {
-			var miss [3]float64
-			for i, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison} {
-				res, err := uc.Execute(uc.Run{
-					Workload: w, Design: d, Capacity: size,
-					AccessesPerCore: opt.accesses, Seed: opt.seed,
-				})
-				if err != nil {
-					return err
-				}
-				miss[i] = res.MissRatioPct()
-			}
-			rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
-			fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
+		points = append(points, uc.Sweep{
+			Base:       opt.run(w, "", 0),
+			Capacities: sizes,
+			Designs:    designs,
+		}.Points()...)
+	}
+	results, err := uc.ExecuteMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for at := 0; at < len(results); at += len(designs) {
+		var miss [3]float64
+		for i := range designs {
+			miss[i] = results[at+i].MissRatioPct()
 		}
+		w, size := points[at].Workload, points[at].Capacity
+		rows = append(rows, []string{w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2])})
+		fmt.Printf("%-18s %-8s %8s %8s %8s\n", w, config.SizeLabel(size), f1(miss[0]), f1(miss[1]), f1(miss[2]))
 	}
 	fmt.Println()
 	return writeCSV(opt, "fig6", header, rows)
@@ -278,26 +289,30 @@ func fig7(opt options) error {
 	for _, d := range designs {
 		geo[d] = map[uint64][]float64{}
 	}
-	for _, w := range cloudSuite(opt) {
-		for _, size := range config.CloudSuiteSizes() {
-			base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: size,
-				AccessesPerCore: opt.accesses, Seed: opt.seed})
-			if err != nil {
-				return err
-			}
-			var sp [4]float64
-			for i, d := range designs {
-				res, err := uc.Execute(uc.Run{Workload: w, Design: d, Capacity: size,
-					AccessesPerCore: opt.accesses, Seed: opt.seed})
-				if err != nil {
-					return err
-				}
-				sp[i] = res.UIPC / base.UIPC
-				geo[d][size] = append(geo[d][size], sp[i])
-			}
-			rows = append(rows, []string{w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
-			fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+	// An empty workload filter must stay a no-op sweep: Sweep's
+	// empty-axis fallback would otherwise inject the zero workload.
+	var points []uc.Run
+	if ws := cloudSuite(opt); len(ws) > 0 {
+		points = uc.Sweep{
+			Base:       opt.run("", "", 0),
+			Workloads:  ws,
+			Capacities: config.CloudSuiteSizes(),
+			Designs:    designs,
+		}.Points()
+	}
+	results, err := uc.SpeedupMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for at := 0; at < len(results); at += len(designs) {
+		var sp [4]float64
+		for i, d := range designs {
+			sp[i] = results[at+i].Speedup
+			geo[d][points[at].Capacity] = append(geo[d][points[at].Capacity], sp[i])
 		}
+		w, size := points[at].Workload, points[at].Capacity
+		rows = append(rows, []string{w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
+		fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
 	}
 	for _, size := range config.CloudSuiteSizes() {
 		var g [4]float64
@@ -325,21 +340,21 @@ func fig8(opt options) error {
 	var rows [][]string
 	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
 	fmt.Printf("%-8s %8s %8s %8s %8s\n", "size", "alloy", "footpr", "unison", "ideal")
-	for _, size := range config.TPCHSizes() {
-		base, err := uc.Execute(uc.Run{Workload: "tpch", Design: uc.DesignNone, Capacity: size,
-			AccessesPerCore: opt.accesses, Seed: opt.seed})
-		if err != nil {
-			return err
-		}
+	points := uc.Sweep{
+		Base:       opt.run("tpch", "", 0),
+		Capacities: config.TPCHSizes(),
+		Designs:    designs,
+	}.Points()
+	results, err := uc.SpeedupMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for at := 0; at < len(results); at += len(designs) {
 		var sp [4]float64
-		for i, d := range designs {
-			res, err := uc.Execute(uc.Run{Workload: "tpch", Design: d, Capacity: size,
-				AccessesPerCore: opt.accesses, Seed: opt.seed})
-			if err != nil {
-				return err
-			}
-			sp[i] = res.UIPC / base.UIPC
+		for i := range designs {
+			sp[i] = results[at+i].Speedup
 		}
+		size := points[at].Capacity
 		rows = append(rows, []string{config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
 		fmt.Printf("%-8s %8s %8s %8s %8s\n", config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	uc "unisoncache"
+	"unisoncache/internal/config"
+	"unisoncache/internal/stats"
+)
+
+// TestFig7CSVMatchesSerial pins the acceptance criterion: the concurrent,
+// baseline-memoized fig7 must write a CSV byte-identical to the
+// pre-refactor serial path — one Execute per design point plus one
+// DesignNone Execute per (workload, size) cell.
+func TestFig7CSVMatchesSerial(t *testing.T) {
+	opt := options{
+		accesses:  2_000,
+		seed:      1,
+		workloads: []string{"web-search", "data-serving"},
+		outDir:    t.TempDir(),
+	}
+	if err := fig7(opt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(opt.outDir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The serial reference, transcribed from the pre-runner fig7.
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
+	var b strings.Builder
+	b.WriteString("workload,size,alloy,footprint,unison,ideal\n")
+	geo := map[uc.DesignKind]map[uint64][]float64{}
+	for _, d := range designs {
+		geo[d] = map[uint64][]float64{}
+	}
+	for _, w := range cloudSuite(opt) {
+		for _, size := range config.CloudSuiteSizes() {
+			base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: size,
+				AccessesPerCore: opt.accesses, Seed: opt.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sp [4]float64
+			for i, d := range designs {
+				res, err := uc.Execute(uc.Run{Workload: w, Design: d, Capacity: size,
+					AccessesPerCore: opt.accesses, Seed: opt.seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp[i] = res.UIPC / base.UIPC
+				geo[d][size] = append(geo[d][size], sp[i])
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s\n", w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+		}
+	}
+	for _, size := range config.CloudSuiteSizes() {
+		var g [4]float64
+		for i, d := range designs {
+			v, err := stats.GeoMean(geo[d][size])
+			if err != nil {
+				continue
+			}
+			g[i] = v
+		}
+		fmt.Fprintf(&b, "geomean,%s,%s,%s,%s,%s\n", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3]))
+	}
+
+	if string(got) != b.String() {
+		t.Fatalf("fig7.csv diverges from serial reference:\n--- got ---\n%s\n--- want ---\n%s", got, b.String())
+	}
+}

@@ -74,36 +74,37 @@ func ablationWay(opt options) error {
 	header := []string{"workload", "variant", "speedup", "miss_pct", "stacked_read_bytes_per_ki"}
 	var rows [][]string
 	fmt.Printf("%-18s %-14s %8s %8s %12s\n", "workload", "variant", "speedup", "miss%", "stackedB/KI")
+	variants := []struct {
+		name string
+		mod  func(*uc.Run)
+	}{
+		{"predicted", func(r *uc.Run) {}},
+		{"fetch-all", func(r *uc.Run) { r.DisableWayPrediction = true }},
+		{"serialized", func(r *uc.Run) { r.SerializeTagData = true }},
+	}
+	var points []uc.Run
+	var names []string
 	for _, w := range opt.workloads {
 		if w == "tpch" {
 			continue
 		}
-		base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: 1 << 30,
-			AccessesPerCore: opt.accesses, Seed: opt.seed})
-		if err != nil {
-			return err
-		}
-		variants := []struct {
-			name string
-			mod  func(*uc.Run)
-		}{
-			{"predicted", func(r *uc.Run) {}},
-			{"fetch-all", func(r *uc.Run) { r.DisableWayPrediction = true }},
-			{"serialized", func(r *uc.Run) { r.SerializeTagData = true }},
-		}
 		for _, v := range variants {
-			run := uc.Run{Workload: w, Design: uc.DesignUnison, Capacity: 1 << 30,
-				AccessesPerCore: opt.accesses, Seed: opt.seed}
+			run := opt.run(w, uc.DesignUnison, 1<<30)
 			v.mod(&run)
-			res, err := uc.Execute(run)
-			if err != nil {
-				return err
-			}
-			sp := res.UIPC / base.UIPC
-			sbki := float64(res.Stacked.BytesRead) * 1000 / float64(res.Instructions)
-			rows = append(rows, []string{w, v.name, f2(sp), f1(res.MissRatioPct()), f1(sbki)})
-			fmt.Printf("%-18s %-14s %8s %8s %12s\n", w, v.name, f2(sp), f1(res.MissRatioPct()), f1(sbki))
+			points = append(points, run)
+			names = append(names, v.name)
 		}
+	}
+	// The three variants per workload share one memoized baseline.
+	results, err := uc.SpeedupMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		w, res := points[i].Workload, r.Design
+		sbki := float64(res.Stacked.BytesRead) * 1000 / float64(res.Instructions)
+		rows = append(rows, []string{w, names[i], f2(r.Speedup), f1(res.MissRatioPct()), f1(sbki)})
+		fmt.Printf("%-18s %-14s %8s %8s %12s\n", w, names[i], f2(r.Speedup), f1(res.MissRatioPct()), f1(sbki))
 	}
 	fmt.Println()
 	return writeCSV(opt, "ablation_way", header, rows)
@@ -116,28 +117,31 @@ func ablationSingleton(opt options) error {
 	header := []string{"workload", "variant", "miss_pct", "offchip_bytes_per_ki", "speedup"}
 	var rows [][]string
 	fmt.Printf("%-18s %-14s %8s %12s %8s\n", "workload", "variant", "miss%", "offB/KI", "speedup")
+	var points []uc.Run
+	var names []string
 	for _, w := range opt.workloads {
 		if w == "tpch" {
 			continue
-		}
-		base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: 1 << 30,
-			AccessesPerCore: opt.accesses, Seed: opt.seed})
-		if err != nil {
-			return err
 		}
 		for _, disable := range []bool{false, true} {
 			name := "bypass-on"
 			if disable {
 				name = "bypass-off"
 			}
-			res, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignUnison, Capacity: 1 << 30,
-				AccessesPerCore: opt.accesses, Seed: opt.seed, DisableSingleton: disable})
-			if err != nil {
-				return err
-			}
-			rows = append(rows, []string{w, name, f1(res.MissRatioPct()), f1(res.OffchipBytesPerKI), f2(res.UIPC / base.UIPC)})
-			fmt.Printf("%-18s %-14s %8s %12s %8s\n", w, name, f1(res.MissRatioPct()), f1(res.OffchipBytesPerKI), f2(res.UIPC/base.UIPC))
+			run := opt.run(w, uc.DesignUnison, 1<<30)
+			run.DisableSingleton = disable
+			points = append(points, run)
+			names = append(names, name)
 		}
+	}
+	results, err := uc.SpeedupMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		w, res := points[i].Workload, r.Design
+		rows = append(rows, []string{w, names[i], f1(res.MissRatioPct()), f1(res.OffchipBytesPerKI), f2(r.Speedup)})
+		fmt.Printf("%-18s %-14s %8s %12s %8s\n", w, names[i], f1(res.MissRatioPct()), f1(res.OffchipBytesPerKI), f2(r.Speedup))
 	}
 	fmt.Println()
 	return writeCSV(opt, "ablation_singleton", header, rows)
@@ -153,21 +157,29 @@ func energy(opt options) error {
 	var rows [][]string
 	fmt.Printf("%-18s %8s %8s %8s %8s | %8s %8s %8s %8s\n",
 		"workload", "AC.act", "FC.act", "UC.act", "none", "AC.nJ", "FC.nJ", "UC.nJ", "none.nJ")
+	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignNone}
+	var points []uc.Run
 	for _, w := range opt.workloads {
 		if w == "tpch" {
 			continue
 		}
+		for _, d := range designs {
+			points = append(points, opt.run(w, d, 1<<30))
+		}
+	}
+	results, err := uc.ExecuteMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for at := 0; at < len(results); at += len(designs) {
 		var acts, njs [4]float64
-		for i, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignNone} {
-			res, err := uc.Execute(uc.Run{Workload: w, Design: d, Capacity: 1 << 30,
-				AccessesPerCore: opt.accesses, Seed: opt.seed})
-			if err != nil {
-				return err
-			}
+		for i := range designs {
+			res := results[at+i]
 			ki := float64(res.Instructions) / 1000
 			acts[i] = float64(res.Offchip.Activations) / ki
 			njs[i] = dram.SystemDynamicPJ(res.Stacked, res.Offchip) / 1000 / ki
 		}
+		w := points[at].Workload
 		rows = append(rows, []string{w, f2(acts[0]), f2(acts[1]), f2(acts[2]), f2(acts[3]),
 			f2(njs[0]), f2(njs[1]), f2(njs[2]), f2(njs[3])})
 		fmt.Printf("%-18s %8s %8s %8s %8s | %8s %8s %8s %8s\n",
@@ -185,24 +197,23 @@ func priorArt(opt options) error {
 	header := []string{"workload", "design", "miss_pct", "speedup", "avg_read_lat"}
 	var rows [][]string
 	fmt.Printf("%-18s %-10s %8s %8s %10s\n", "workload", "design", "miss%", "speedup", "readLat")
+	var points []uc.Run
 	for _, w := range opt.workloads {
 		if w == "tpch" {
 			continue
 		}
-		base, err := uc.Execute(uc.Run{Workload: w, Design: uc.DesignNone, Capacity: 1 << 30,
-			AccessesPerCore: opt.accesses, Seed: opt.seed})
-		if err != nil {
-			return err
-		}
 		for _, d := range []uc.DesignKind{uc.DesignLohHill, uc.DesignAlloy, uc.DesignUnison} {
-			res, err := uc.Execute(uc.Run{Workload: w, Design: d, Capacity: 1 << 30,
-				AccessesPerCore: opt.accesses, Seed: opt.seed})
-			if err != nil {
-				return err
-			}
-			rows = append(rows, []string{w, string(d), f1(res.MissRatioPct()), f2(res.UIPC / base.UIPC), f1(res.AvgDRAMReadLatency)})
-			fmt.Printf("%-18s %-10s %8s %8s %10s\n", w, d, f1(res.MissRatioPct()), f2(res.UIPC/base.UIPC), f1(res.AvgDRAMReadLatency))
+			points = append(points, opt.run(w, d, 1<<30))
 		}
+	}
+	results, err := uc.SpeedupMany(opt.plan(points))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		w, d, res := points[i].Workload, points[i].Design, r.Design
+		rows = append(rows, []string{w, string(d), f1(res.MissRatioPct()), f2(r.Speedup), f1(res.AvgDRAMReadLatency)})
+		fmt.Printf("%-18s %-10s %8s %8s %10s\n", w, d, f1(res.MissRatioPct()), f2(r.Speedup), f1(res.AvgDRAMReadLatency))
 	}
 	fmt.Println()
 	return writeCSV(opt, "priorart", header, rows)

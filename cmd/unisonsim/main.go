@@ -27,6 +27,7 @@ func main() {
 	ways := flag.Int("ways", 0, "Unison associativity override (1, 4, 32)")
 	scale := flag.Int("scale", 0, "capacity scale divisor (0 = automatic)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the baseline run (no speedup)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations for the design+baseline pair (0 = one per CPU)")
 	flag.Parse()
 
 	capacity, err := parseSize(*size)
@@ -48,7 +49,13 @@ func main() {
 	if *noBaseline || run.Design == uc.DesignNone {
 		res, err = uc.Execute(run)
 	} else {
-		speedup, res, base, err = uc.Speedup(run)
+		// The design and its no-DRAM-cache baseline run concurrently
+		// through the sweep engine.
+		var sp []uc.SpeedupResult
+		sp, err = uc.SpeedupMany(uc.Plan{Points: []uc.Run{run}, Jobs: *jobs})
+		if err == nil {
+			speedup, res, base = sp[0].Speedup, sp[0].Design, sp[0].Baseline
+		}
 	}
 	if err != nil {
 		fatal(err)

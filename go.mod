@@ -1,0 +1,3 @@
+module unisoncache
+
+go 1.24

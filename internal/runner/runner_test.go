@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapPlanOrder checks results come back in point order regardless of
+// worker count, with completion order deliberately scrambled by making
+// early points slow.
+func TestMapPlanOrder(t *testing.T) {
+	points := make([]int, 64)
+	for i := range points {
+		points[i] = i
+	}
+	fn := func(p int) (int, error) {
+		// Earlier points sleep longer, so they finish last.
+		time.Sleep(time.Duration(len(points)-p) * 50 * time.Microsecond)
+		return p * p, nil
+	}
+	for _, jobs := range []int{1, 2, 8, 0} {
+		got, err := Map(points, fn, Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("Jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapMatchesSerial checks the parallel engine is bit-identical to a
+// plain serial loop over the same pure function.
+func TestMapMatchesSerial(t *testing.T) {
+	points := make([]uint64, 100)
+	for i := range points {
+		points[i] = uint64(i)
+	}
+	fn := func(p uint64) (uint64, error) {
+		// A deterministic hash stands in for a simulation.
+		v := p
+		for i := 0; i < 1000; i++ {
+			v = v*6364136223846793005 + 1442695040888963407
+		}
+		return v, nil
+	}
+	want := make([]uint64, len(points))
+	for i, p := range points {
+		want[i], _ = fn(p)
+	}
+	got, err := Map(points, fn, Options{Jobs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMapKeyedMemoization checks points sharing a key execute exactly
+// once and all receive the shared result — the baseline-dedup contract.
+func TestMapKeyedMemoization(t *testing.T) {
+	points := make([]int, 40)
+	for i := range points {
+		points[i] = i
+	}
+	var calls atomic.Int64
+	got, err := MapKeyed(points, func(p int) int { return p % 5 }, func(p int) (int, error) {
+		calls.Add(1)
+		return (p % 5) * 100, nil
+	}, Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 5 {
+		t.Fatalf("fn ran %d times, want 5 (one per unique key)", n)
+	}
+	for i, v := range got {
+		if v != (i%5)*100 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, (i%5)*100)
+		}
+	}
+}
+
+// TestMapKeyedRunsFirstPoint checks the memoized execution uses the first
+// point carrying the key, so which duplicate "wins" is deterministic.
+func TestMapKeyedRunsFirstPoint(t *testing.T) {
+	points := []string{"a0", "b0", "a1", "b1", "a2"}
+	got, err := MapKeyed(points,
+		func(p string) string { return p[:1] },
+		func(p string) (string, error) { return p, nil },
+		Options{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a0", "b0", "a0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMapErrorPropagation checks a failing point surfaces its error and
+// that the reported failure is the serially-first one when several fail.
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := Map(points, func(p int) (int, error) {
+		if p == 3 {
+			return 0, fmt.Errorf("point %d: %w", p, boom)
+		}
+		return p, nil
+	}, Options{Jobs: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+
+	// All points fail: Jobs=1 guarantees every job runs in order, so the
+	// reported error must be point 0's.
+	_, err = Map(points, func(p int) (int, error) {
+		return 0, fmt.Errorf("point %d failed", p)
+	}, Options{Jobs: 1})
+	if err == nil || err.Error() != "point 0 failed" {
+		t.Fatalf("err = %v, want point 0's error", err)
+	}
+}
+
+// TestMapProgress checks the progress writer sees every completion and a
+// final count.
+func TestMapProgress(t *testing.T) {
+	var sb strings.Builder
+	points := []int{1, 2, 3}
+	_, err := Map(points, func(p int) (int, error) { return p, nil }, Options{Jobs: 2, Progress: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "runner: 3/3 jobs") {
+		t.Fatalf("progress output %q missing final count", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("progress output %q missing trailing newline", out)
+	}
+}
+
+// TestMapEmpty checks the zero-point plan is a no-op, not a hang.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(nil, func(p int) (int, error) { return p, nil }, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}

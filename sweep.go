@@ -1,0 +1,149 @@
+package unisoncache
+
+import (
+	"fmt"
+	"io"
+
+	"unisoncache/internal/runner"
+)
+
+// Plan is a declarative sweep: an ordered list of simulation points plus
+// the execution policy. Results always come back in Points order, and —
+// because every Run is a pure function of its configuration and seed —
+// they are bit-identical to calling Execute serially over the same list,
+// no matter the worker count.
+type Plan struct {
+	// Points are the runs to execute, in result order. Build the list by
+	// hand or expand a Sweep's cross product.
+	Points []Run
+	// Jobs is the worker-pool size. Zero or negative runs one worker per
+	// schedulable CPU (runtime.GOMAXPROCS).
+	Jobs int
+	// Progress, when non-nil, receives a live completion ticker (pass
+	// os.Stderr; one carriage-return-prefixed line per finished job).
+	Progress io.Writer
+}
+
+// Sweep declares a cross product of simulation points over a template
+// Run. Empty dimensions fall back to the template's value, so a Sweep
+// only names the axes it actually varies.
+type Sweep struct {
+	// Base is the template every point starts from.
+	Base Run
+	// Workloads, Designs, Capacities, Seeds and UnisonWays are the swept
+	// axes; an empty axis keeps Base's value.
+	Workloads  []string
+	Designs    []DesignKind
+	Capacities []uint64
+	Seeds      []uint64
+	UnisonWays []int
+}
+
+// Points expands the cross product in stable order — workload-major, then
+// capacity, seed, ways, design innermost — matching how the paper's
+// figures group their bars.
+func (s Sweep) Points() []Run {
+	workloads := s.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{s.Base.Workload}
+	}
+	capacities := s.Capacities
+	if len(capacities) == 0 {
+		capacities = []uint64{s.Base.Capacity}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{s.Base.Seed}
+	}
+	ways := s.UnisonWays
+	if len(ways) == 0 {
+		ways = []int{s.Base.UnisonWays}
+	}
+	designs := s.Designs
+	if len(designs) == 0 {
+		designs = []DesignKind{s.Base.Design}
+	}
+	points := make([]Run, 0, len(workloads)*len(capacities)*len(seeds)*len(ways)*len(designs))
+	for _, w := range workloads {
+		for _, c := range capacities {
+			for _, seed := range seeds {
+				for _, wy := range ways {
+					for _, d := range designs {
+						r := s.Base
+						r.Workload, r.Capacity, r.Seed, r.UnisonWays, r.Design = w, c, seed, wy, d
+						points = append(points, r)
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// ExecuteMany runs every point of the plan over a worker pool and returns
+// the results in plan order. Points whose defaulted configurations are
+// identical execute once and share a Result.
+func ExecuteMany(p Plan) ([]Result, error) {
+	runs := make([]Run, len(p.Points))
+	for i, r := range p.Points {
+		runs[i] = r.withDefaults()
+	}
+	return runner.MapKeyed(runs, runKey, Execute, runner.Options{Jobs: p.Jobs, Progress: p.Progress})
+}
+
+// SpeedupResult is one plan point's Speedup outcome.
+type SpeedupResult struct {
+	// Speedup is design UIPC over baseline UIPC — the Figure 7/8 metric.
+	Speedup float64
+	// Design and Baseline are the two underlying results. Baseline may be
+	// shared (memoized) across points.
+	Design   Result
+	Baseline Result
+}
+
+// SpeedupMany is Speedup over a whole plan: every design point and every
+// distinct no-DRAM-cache baseline fan out over one worker pool. The
+// DesignNone baseline executes once per unique (workload, seed, capacity,
+// accesses, cores, scale) tuple — not once per design point — because
+// design-only knobs (associativity, ablation flags) cannot affect a
+// system with no DRAM cache.
+func SpeedupMany(p Plan) ([]SpeedupResult, error) {
+	n := len(p.Points)
+	runs := make([]Run, 0, 2*n)
+	for _, r := range p.Points {
+		runs = append(runs, r.withDefaults())
+	}
+	for i := 0; i < n; i++ {
+		runs = append(runs, baselineRun(runs[i]))
+	}
+	results, err := runner.MapKeyed(runs, runKey, Execute, runner.Options{Jobs: p.Jobs, Progress: p.Progress})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SpeedupResult, n)
+	for i := range out {
+		design, baseline := results[i], results[n+i]
+		if baseline.UIPC == 0 {
+			return nil, fmt.Errorf("unisoncache: baseline UIPC is zero")
+		}
+		out[i] = SpeedupResult{Speedup: design.UIPC / baseline.UIPC, Design: design, Baseline: baseline}
+	}
+	return out, nil
+}
+
+// runKey memoizes by the full defaulted configuration: Run is a
+// comparable struct, so the struct value itself is the key.
+func runKey(r Run) Run { return r }
+
+// baselineRun normalizes a defaulted run into its no-DRAM-cache baseline.
+// Design-specific knobs are reset to their defaults so every design point
+// over the same workload tuple collapses onto one baseline key.
+func baselineRun(r Run) Run {
+	r.Design = DesignNone
+	r.UnisonWays = 4
+	r.FCWays = 32
+	r.DisableWayPrediction = false
+	r.SerializeTagData = false
+	r.DisableSingleton = false
+	return r
+}

@@ -1,0 +1,147 @@
+package unisoncache
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepTestAccesses keeps each simulated point cheap: determinism is a
+// property of the engine, not the trace length.
+const sweepTestAccesses = 2_000
+
+// TestExecuteManyMatchesSerial checks the concurrent engine returns
+// results bit-identical to a serial Execute loop over the same points.
+func TestExecuteManyMatchesSerial(t *testing.T) {
+	sweep := Sweep{
+		Base:      Run{Capacity: 64 << 20, AccessesPerCore: sweepTestAccesses},
+		Workloads: []string{"web-search", "data-serving"},
+		Designs:   []DesignKind{DesignAlloy, DesignUnison, DesignNone},
+	}
+	points := sweep.Points()
+
+	want := make([]Result, len(points))
+	for i, r := range points {
+		res, err := Execute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, jobs := range []int{1, 4, 0} {
+		got, err := ExecuteMany(Plan{Points: points, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("Jobs=%d: point %d (%s/%s) diverges from serial execution",
+					jobs, i, points[i].Workload, points[i].Design)
+			}
+		}
+	}
+}
+
+// TestSpeedupManyMatchesSpeedup checks baseline memoization does not
+// change any number: a plan where four design points share one baseline
+// must reproduce per-point Speedup calls exactly.
+func TestSpeedupManyMatchesSpeedup(t *testing.T) {
+	base := Run{Workload: "web-serving", Capacity: 64 << 20, AccessesPerCore: sweepTestAccesses}
+	points := []Run{base, base, base, base}
+	points[0].Design = DesignAlloy
+	points[1].Design = DesignUnison
+	points[2].Design = DesignUnison
+	points[2].UnisonWays = 1 // different design point, same baseline
+	points[3].Design = DesignIdeal
+
+	many, err := SpeedupMany(Plan{Points: points, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range points {
+		sp, design, baseline, err := Speedup(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i].Speedup != sp {
+			t.Fatalf("point %d: SpeedupMany %v != Speedup %v", i, many[i].Speedup, sp)
+		}
+		if !reflect.DeepEqual(many[i].Design, design) || !reflect.DeepEqual(many[i].Baseline, baseline) {
+			t.Fatalf("point %d: results diverge from per-point Speedup", i)
+		}
+	}
+}
+
+// TestBaselineRunCollapses checks design points differing only in
+// design-specific knobs share one baseline key — the memoization that
+// turns fig7's 4 baselines per cell into 1.
+func TestBaselineRunCollapses(t *testing.T) {
+	base := Run{Workload: "web-search", Capacity: 1 << 30, AccessesPerCore: 400_000}
+	variants := []Run{base, base, base, base}
+	variants[0].Design = DesignAlloy
+	variants[1].Design = DesignUnison
+	variants[1].UnisonWays = 32
+	variants[2].Design = DesignFootprint
+	variants[2].FCWays = 16
+	variants[3].Design = DesignUnison
+	variants[3].SerializeTagData = true
+	variants[3].DisableSingleton = true
+
+	want := baselineRun(variants[0].withDefaults())
+	for i, v := range variants {
+		if got := baselineRun(v.withDefaults()); got != want {
+			t.Fatalf("variant %d: baseline key %+v != %+v", i, got, want)
+		}
+	}
+	if want.Design != DesignNone {
+		t.Fatalf("baseline design = %s, want %s", want.Design, DesignNone)
+	}
+
+	other := base
+	other.Seed = 7
+	if baselineRun(other.withDefaults()) == want {
+		t.Fatal("different seed must not share a baseline")
+	}
+}
+
+// TestSweepPointsOrder checks the cross product expands workload-major
+// with designs innermost, and that empty axes inherit the template.
+func TestSweepPointsOrder(t *testing.T) {
+	s := Sweep{
+		Base:       Run{Seed: 3, AccessesPerCore: 100},
+		Workloads:  []string{"a", "b"},
+		Capacities: []uint64{1, 2},
+		Designs:    []DesignKind{DesignAlloy, DesignUnison},
+	}
+	points := s.Points()
+	if len(points) != 8 {
+		t.Fatalf("len = %d, want 8", len(points))
+	}
+	var got []string
+	for _, p := range points {
+		got = append(got, p.Workload+"/"+string(p.Design))
+		if p.Seed != 3 || p.AccessesPerCore != 100 || p.Capacity == 0 {
+			t.Fatalf("point %+v lost template fields", p)
+		}
+	}
+	want := "a/alloy a/unison a/alloy a/unison b/alloy b/unison b/alloy b/unison"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	if points[0].Capacity != 1 || points[2].Capacity != 2 {
+		t.Fatalf("capacity order wrong: %d then %d", points[0].Capacity, points[2].Capacity)
+	}
+}
+
+// TestExecuteManyErrorPropagation checks a bad point fails the plan with
+// the point's own error.
+func TestExecuteManyErrorPropagation(t *testing.T) {
+	points := []Run{
+		{Workload: "web-search", Design: DesignUnison, Capacity: 64 << 20, AccessesPerCore: sweepTestAccesses},
+		{Workload: "no-such-workload", Design: DesignUnison, Capacity: 64 << 20, AccessesPerCore: sweepTestAccesses},
+	}
+	_, err := ExecuteMany(Plan{Points: points})
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") {
+		t.Fatalf("err = %v, want unknown-workload error", err)
+	}
+}

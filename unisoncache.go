@@ -14,8 +14,13 @@
 //	    Capacity: 1 << 30,
 //	})
 //
-// Everything is deterministic for a fixed Seed. See DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+// Whole evaluations run through the sweep engine: declare a Plan (or
+// expand a Sweep's cross product) and call ExecuteMany or SpeedupMany to
+// fan the points out over a worker pool with shared baselines memoized.
+//
+// Everything is deterministic for a fixed Seed — concurrent plans return
+// results bit-identical to a serial loop. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
 package unisoncache
 
 import (
@@ -250,20 +255,12 @@ func buildDesign(r Run, stacked, offchip *dram.Controller) (dramcache.Design, er
 
 // Speedup runs the design and the no-cache baseline on identical traces and
 // returns design UIPC / baseline UIPC — the Figure 7/8 metric — along with
-// both results.
+// both results. The two runs execute concurrently; for whole sweeps use
+// SpeedupMany, which also memoizes baselines across points.
 func Speedup(r Run) (speedup float64, design, baseline Result, err error) {
-	design, err = Execute(r)
+	res, err := SpeedupMany(Plan{Points: []Run{r}})
 	if err != nil {
 		return 0, Result{}, Result{}, err
 	}
-	base := r
-	base.Design = DesignNone
-	baseline, err = Execute(base)
-	if err != nil {
-		return 0, Result{}, Result{}, err
-	}
-	if baseline.UIPC == 0 {
-		return 0, design, baseline, fmt.Errorf("unisoncache: baseline UIPC is zero")
-	}
-	return design.UIPC / baseline.UIPC, design, baseline, nil
+	return res[0].Speedup, res[0].Design, res[0].Baseline, nil
 }
