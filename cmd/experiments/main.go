@@ -61,6 +61,17 @@ func main() {
 	}
 	if *workloadsFlag != "" {
 		opt.workloads = strings.Split(*workloadsFlag, ",")
+		// Fail fast, before any simulation runs: the registry knows every
+		// valid name (built-in or registered).
+		known := map[string]bool{}
+		for _, w := range uc.Workloads() {
+			known[w] = true
+		}
+		for _, w := range opt.workloads {
+			if !known[w] {
+				fatal(fmt.Errorf("unknown workload %q (have %v)", w, uc.Workloads()))
+			}
+		}
 	} else {
 		opt.workloads = uc.Workloads()
 	}

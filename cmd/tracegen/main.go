@@ -1,87 +1,151 @@
-// Command tracegen inspects the synthetic workload generator: it replays a
-// stream and reports the statistical properties the DRAM cache designs key
-// on — footprint density distribution, spatial locality, write fraction,
-// instruction gaps, region reuse distance. Use it to sanity-check the
-// CloudSuite/TPC-H substitutions (DESIGN.md §1) or to preview a custom
-// profile before a full simulation.
+// Command tracegen inspects the synthetic workload generator and captures
+// its streams for replay. In its default mode it replays a stream and
+// reports the statistical properties the DRAM cache designs key on —
+// footprint density distribution, spatial locality, write fraction,
+// instruction gaps — to sanity-check the CloudSuite/TPC-H substitutions
+// (DESIGN.md §1) or preview a custom profile before a full simulation. With
+// -record it freezes the exact per-core streams a simulation would replay
+// into a .utrace file (DESIGN.md §7), which `unisonsim -trace` and
+// Run.TracePath replay bit-identically.
 //
 // Usage:
 //
 //	tracegen -workload web-search -events 2000000
+//	tracegen -record ws.utrace -workload web-search -size 1GB -events 400000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/bits"
 	"os"
 	"strings"
 
+	uc "unisoncache"
+	"unisoncache/internal/config"
 	"unisoncache/internal/stats"
 	"unisoncache/internal/trace"
 )
 
 func main() {
-	workload := flag.String("workload", "web-search", "one of: "+strings.Join(trace.Names(), ", "))
-	events := flag.Int("events", 1_000_000, "events to generate")
+	workload := flag.String("workload", "web-search", "one of: "+strings.Join(uc.Workloads(), ", "))
+	events := flag.Int("events", 1_000_000, "events to generate (per core in record mode)")
 	seed := flag.Uint64("seed", 1, "stream seed")
+	record := flag.String("record", "", "write a .utrace capture to this path instead of analyzing")
+	cores := flag.Int("cores", 16, "cores to capture in record mode")
+	size := flag.String("size", "1GB", "record mode: labeled cache capacity the capture targets (sets the automatic scale divisor)")
+	scale := flag.Int("scale", 0, "record mode: working-set scale divisor (0 = automatic from -size)")
 	flag.Parse()
+
+	if *record != "" {
+		if *events <= 0 || *cores <= 0 {
+			fatal(fmt.Errorf("record mode needs positive -events and -cores (got %d, %d)", *events, *cores))
+		}
+		capacity, err := config.ParseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		run := uc.Run{
+			Workload:        *workload,
+			Seed:            *seed,
+			Cores:           *cores,
+			AccessesPerCore: *events,
+			Capacity:        capacity,
+			ScaleDivisor:    *scale,
+		}
+		if err := recordTrace(run, *record); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d events x %d cores of %s to %s\n", *events, *cores, *workload, *record)
+		return
+	}
 
 	prof, ok := trace.Profiles()[*workload]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown workload %q", *workload))
 	}
 	stream, err := trace.NewStream(prof, *seed, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	analyze(os.Stdout, prof, stream, *events)
+}
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+// recordTrace captures run's streams to path through the public facade, so
+// the file replays bit-identically against the equivalent Execute.
+func recordTrace(run uc.Run, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := uc.RecordTrace(run, f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// analyze replays events accesses from src and prints the generator's
+// statistical fingerprint.
+func analyze(w io.Writer, prof *trace.Profile, src trace.Source, events int) {
 	density := stats.NewHistogram(trace.RegionBlocks)
 	var gaps stats.Mean
 	var writes stats.Ratio
 	distinct := map[uint64]struct{}{}
 
+	// One visit's touched blocks live in a reused 32-bit bitset (the
+	// region is 32 blocks) instead of a fresh map per visit — this loop
+	// runs once per event.
 	var curRegion uint64 = ^uint64(0)
-	var visitBlocks map[uint64]struct{}
+	var visitBlocks uint32
+	inVisit := false
 	visits := 0
 	flush := func() {
-		if visitBlocks != nil {
-			density.Add(len(visitBlocks))
+		if inVisit {
+			density.Add(bits.OnesCount32(visitBlocks))
 			visits++
 		}
 	}
-	for i := 0; i < *events; i++ {
-		ev := stream.Next()
-		region := uint64(ev.Addr) / trace.RegionBytes
+	for i := 0; i < events; i++ {
+		ev := src.Next()
+		block := ev.Addr.Block()
+		region := block / trace.RegionBlocks
 		if region != curRegion {
 			flush()
 			curRegion = region
-			visitBlocks = map[uint64]struct{}{}
+			visitBlocks = 0
+			inVisit = true
 		}
-		visitBlocks[ev.Addr.Block()] = struct{}{}
+		visitBlocks |= 1 << (block % trace.RegionBlocks)
 		distinct[region] = struct{}{}
 		gaps.Add(float64(ev.Gap))
 		writes.Add(ev.Write)
 	}
 	flush()
 
-	fmt.Printf("workload            %s\n", prof.Name)
-	fmt.Printf("working set         %d MB (%d regions of 2KB)\n", prof.WorkingSetBytes>>20, prof.Regions())
-	fmt.Printf("events              %d across %d region visits\n", *events, visits)
-	fmt.Printf("distinct regions    %d (footprint %d MB)\n", len(distinct), uint64(len(distinct))*trace.RegionBytes>>20)
-	fmt.Printf("write fraction      %.1f%% (profile %.1f%%)\n", writes.Percent(), prof.WriteFrac*100)
-	fmt.Printf("instruction gap     %.1f mean (profile %.1f)\n", gaps.Value(), prof.GapMean)
-	fmt.Printf("blocks per visit    %.1f mean, P50=%d, P90=%d\n",
+	fmt.Fprintf(w, "workload            %s\n", prof.Name)
+	fmt.Fprintf(w, "working set         %d MB (%d regions of 2KB)\n", prof.WorkingSetBytes>>20, prof.Regions())
+	fmt.Fprintf(w, "events              %d across %d region visits\n", events, visits)
+	fmt.Fprintf(w, "distinct regions    %d (footprint %d MB)\n", len(distinct), uint64(len(distinct))*trace.RegionBytes>>20)
+	fmt.Fprintf(w, "write fraction      %.1f%% (profile %.1f%%)\n", writes.Percent(), prof.WriteFrac*100)
+	fmt.Fprintf(w, "instruction gap     %.1f mean (profile %.1f)\n", gaps.Value(), prof.GapMean)
+	fmt.Fprintf(w, "blocks per visit    %.1f mean, P50=%d, P90=%d\n",
 		density.Mean(), density.Percentile(0.5), density.Percentile(0.9))
-	fmt.Printf("singleton visits    %.1f%%\n", 100*density.Fraction(1))
-	fmt.Println("\nvisit footprint density (blocks of 32):")
+	fmt.Fprintf(w, "singleton visits    %.1f%%\n", 100*density.Fraction(1))
+	fmt.Fprintln(w, "\nvisit footprint density (blocks of 32):")
 	for v := 1; v <= trace.RegionBlocks; v++ {
 		f := density.Fraction(v)
 		if f < 0.002 {
 			continue
 		}
 		bar := strings.Repeat("#", int(f*200))
-		fmt.Printf("%3d %6.1f%% %s\n", v, f*100, bar)
+		fmt.Fprintf(w, "%3d %6.1f%% %s\n", v, f*100, bar)
 	}
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	uc "unisoncache"
+	"unisoncache/internal/trace"
+)
+
+func TestAnalyzeSmoke(t *testing.T) {
+	prof := trace.Profiles()["web-serving"]
+	stream, err := trace.NewStream(prof, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	analyze(&out, prof, stream, 50_000)
+	report := out.String()
+	for _, want := range []string{
+		"workload            web-serving",
+		"events              50000 across",
+		"blocks per visit",
+		"visit footprint density",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestAnalyzeMatchesVisitStructure pins the bitset accounting: singleton
+// fractions and per-visit block counts stay within the region's 32 blocks.
+func TestAnalyzeMatchesVisitStructure(t *testing.T) {
+	prof := trace.Profiles()["data-analytics"]
+	stream, err := trace.NewStream(prof, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	analyze(&out, prof, stream, 20_000)
+	if !strings.Contains(out.String(), "singleton visits") {
+		t.Fatalf("no singleton line:\n%s", out.String())
+	}
+}
+
+func TestRecordWritesReplayableCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.utrace")
+	run := uc.Run{Workload: "web-search", Seed: 5, Cores: 2, AccessesPerCore: 1000, Capacity: 64 << 20}
+	if err := recordTrace(run, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, sources, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 64MB defaults to the automatic divisor floor of 16.
+	want := trace.FileHeader{Profile: "web-search", Seed: 5, ScaleDivisor: 16, Cores: 2, EventsPerCore: 1000}
+	if hdr != want {
+		t.Errorf("header = %+v, want %+v", hdr, want)
+	}
+	if len(sources) != 2 || sources[0].Remaining() != 1000 {
+		t.Errorf("sources = %d x %d events", len(sources), sources[0].Remaining())
+	}
+}
+
+func TestRecordRejectsUnknownWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.utrace")
+	if err := recordTrace(uc.Run{Workload: "nope", AccessesPerCore: 10, Capacity: 64 << 20}, path); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed capture left a file behind")
+	}
+}

@@ -7,6 +7,7 @@
 //	unisonsim -workload web-search -design unison -size 1GB
 //	unisonsim -workload tpch -design footprint -size 8GB -accesses 500000
 //	unisonsim -workload web-serving -design unison -ways 1 -size 128MB
+//	unisonsim -trace ws.utrace -design unison -size 1GB
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	uc "unisoncache"
+	"unisoncache/internal/config"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	ways := flag.Int("ways", 0, "Unison associativity override (1, 4, 32)")
 	scale := flag.Int("scale", 0, "capacity scale divisor (0 = automatic)")
+	tracePath := flag.String("trace", "", "replay a .utrace capture (tracegen -record); workload, seed and core count come from the file")
 	noBaseline := flag.Bool("no-baseline", false, "skip the baseline run (no speedup)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations for the design+baseline pair (0 = one per CPU)")
 	flag.Parse()
@@ -42,6 +45,22 @@ func main() {
 		Seed:            *seed,
 		UnisonWays:      *ways,
 		ScaleDivisor:    *scale,
+		TracePath:       *tracePath,
+	}
+	if *tracePath != "" {
+		// The capture header defines the stream. Flags left at their
+		// defaults defer to the header; explicitly set ones pass through
+		// so the library can reject a mismatched capture (-accesses may
+		// replay a prefix).
+		if !flagProvided("workload") {
+			run.Workload = ""
+		}
+		if !flagProvided("seed") {
+			run.Seed = 0
+		}
+		if !flagProvided("accesses") {
+			run.AccessesPerCore = 0
+		}
 	}
 
 	var res, base uc.Result
@@ -62,10 +81,13 @@ func main() {
 	}
 
 	d := res.Design
-	fmt.Printf("workload        %s\n", *workload)
+	fmt.Printf("workload        %s\n", res.Run.Workload)
+	if res.Run.TracePath != "" {
+		fmt.Printf("trace           %s (replay)\n", res.Run.TracePath)
+	}
 	fmt.Printf("design          %s\n", d.Name)
 	fmt.Printf("capacity        %s (simulated at 1/%d scale)\n", *size, res.Run.ScaleDivisor)
-	fmt.Printf("accesses/core   %d (x%d cores)\n", *accesses, res.Run.Cores)
+	fmt.Printf("accesses/core   %d (x%d cores)\n", res.Run.AccessesPerCore, res.Run.Cores)
 	fmt.Println()
 	fmt.Printf("UIPC            %.3f\n", res.UIPC)
 	if speedup > 0 {
@@ -99,30 +121,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parseSize understands "128MB", "1GB", "8g", "64m", plain bytes.
-func parseSize(s string) (uint64, error) {
-	t := strings.ToUpper(strings.TrimSpace(s))
-	mult := uint64(1)
-	switch {
-	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
-		mult = 1 << 30
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "GB"), "G")
-	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
-		mult = 1 << 20
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "MB"), "M")
-	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
-		mult = 1 << 10
-		t = strings.TrimSuffix(strings.TrimSuffix(t, "KB"), "K")
-	}
-	var v uint64
-	for _, c := range t {
-		if c < '0' || c > '9' {
-			return 0, fmt.Errorf("bad size %q", s)
+// flagProvided reports whether the named flag was set on the command line.
+func flagProvided(name string) bool {
+	found := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			found = true
 		}
-		v = v*10 + uint64(c-'0')
-	}
-	if v == 0 {
-		return 0, fmt.Errorf("bad size %q", s)
-	}
-	return v * mult, nil
+	})
+	return found
 }
+
+// parseSize understands "128MB", "1GB", "8g", "64m", plain bytes.
+func parseSize(s string) (uint64, error) { return config.ParseSize(s) }

@@ -1,27 +1,27 @@
-// Custom-workload shows how to study Unison Cache's internal mechanisms on
-// a workload you define yourself, driving the internal packages directly
-// rather than the facade: it builds an in-memory key-value-store-like
-// profile, wires up the DRAM parts, a Unison Cache and the replay engine by
-// hand, and then re-runs the same trace with the Figure 5 associativity
-// sweep plus the §V-B way-prediction ablation.
+// Custom-workload shows how to study Unison Cache on a workload you define
+// yourself, entirely through the public unisoncache API: it registers an
+// in-memory key-value-store-like Profile under a name, re-runs the same
+// trace with the Figure 5 associativity sweep plus the §V-B way-prediction
+// ablation through the sweep engine, and finally records the workload to a
+// .utrace capture and replays it, proving the replay is bit-identical.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
-	"unisoncache/internal/core"
-	"unisoncache/internal/dram"
-	"unisoncache/internal/sim"
-	"unisoncache/internal/trace"
+	uc "unisoncache"
 )
 
 func main() {
 	// An in-memory KV store: strong skew, small dense objects, heavy
-	// writes. 2 GB working set scaled 1/16 like the facade would.
-	profile := &trace.Profile{
-		Name:            "kv-store",
-		WorkingSetBytes: 2 << 30 / 16,
+	// writes. The working set is declared at full scale; ScaleDivisor
+	// shrinks it 1/16 along with the cache, like the facade's automatic
+	// proportional scaling would.
+	kv := uc.Profile{
+		WorkingSetBytes: 2 << 30,
 		ZipfTheta:       0.85,
 		PCs:             96,
 		PCZipfTheta:     0.5,
@@ -36,59 +36,80 @@ func main() {
 		GapMean:         10,
 		RepeatMean:      1.0,
 	}
-	if err := profile.Validate(); err != nil {
+	if err := uc.RegisterWorkload("kv-store", kv); err != nil {
+		log.Fatal(err)
+	}
+
+	base := uc.Run{
+		Workload:        "kv-store",
+		Design:          uc.DesignUnison,
+		Capacity:        512 << 20,
+		ScaleDivisor:    16,
+		Seed:            7,
+		AccessesPerCore: 200_000,
+	}
+	configs := []struct {
+		name string
+		mut  func(*uc.Run)
+	}{
+		{"direct-mapped", func(r *uc.Run) { r.UnisonWays = 1 }},
+		{"4-way (design point)", func(r *uc.Run) {}},
+		{"32-way (reference)", func(r *uc.Run) { r.UnisonWays = 32 }},
+		{"4-way, 1984B pages", func(r *uc.Run) { r.Design = uc.DesignUnison1984 }},
+		{"4-way, no way pred", func(r *uc.Run) { r.DisableWayPrediction = true }},
+		{"4-way, serialized tag", func(r *uc.Run) { r.SerializeTagData = true }},
+	}
+	points := make([]uc.Run, len(configs))
+	for i, c := range configs {
+		points[i] = base
+		c.mut(&points[i])
+	}
+	results, err := uc.ExecuteMany(uc.Plan{Points: points})
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("custom kv-store workload, 512MB-class Unison Cache (1/16 scale)")
 	fmt.Printf("%-22s %8s %8s %8s\n", "configuration", "miss%", "FPacc%", "UIPC")
-	for _, cfg := range []struct {
-		name string
-		conf core.Config
-	}{
-		{"direct-mapped", core.Config{PageBlocks: 15, Ways: 1}},
-		{"4-way (design point)", core.Config{PageBlocks: 15, Ways: 4}},
-		{"32-way (reference)", core.Config{PageBlocks: 15, Ways: 32}},
-		{"4-way, 1984B pages", core.Config{PageBlocks: 31, Ways: 4}},
-		{"4-way, no way pred", core.Config{PageBlocks: 15, Ways: 4, DisableWayPrediction: true}},
-		{"4-way, serialized tag", core.Config{PageBlocks: 15, Ways: 4, SerializeTagData: true}},
-	} {
-		res, err := runOnce(profile, cfg.conf)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, c := range configs {
+		res := results[i]
 		fmt.Printf("%-22s %8.1f %8.1f %8.2f\n",
-			cfg.name, res.Design.MissRatioPct(), res.Design.FP.Percent(), res.UIPC)
+			c.name, res.Design.MissRatioPct(), res.Design.FP.Percent(), res.UIPC)
 	}
-}
 
-// runOnce wires the full system by hand — the long way the facade wraps.
-func runOnce(profile *trace.Profile, conf core.Config) (sim.Results, error) {
-	stacked, err := dram.NewController(dram.StackedConfig())
+	// Record/replay: capture the design-point run, replay it from the
+	// .utrace file, and check the two results match bit for bit.
+	short := base
+	short.AccessesPerCore = 60_000
+	path := filepath.Join(os.TempDir(), "kv-store.utrace")
+	f, err := os.Create(path)
 	if err != nil {
-		return sim.Results{}, err
+		log.Fatal(err)
 	}
-	offchip, err := dram.NewController(dram.OffchipConfig())
+	if err := uc.RecordTrace(short, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+
+	live, err := uc.Execute(short)
 	if err != nil {
-		return sim.Results{}, err
+		log.Fatal(err)
 	}
-	conf.CapacityBytes = 512 << 20 / 16
-	conf.LabelBytes = 512 << 20
-	design, err := core.New(conf, stacked, offchip)
+	replayRun := short
+	replayRun.TracePath = path
+	replayed, err := uc.Execute(replayRun)
 	if err != nil {
-		return sim.Results{}, err
+		log.Fatal(err)
 	}
-	cfg := sim.Default()
-	cfg.L2.SizeBytes = 256 << 10
-	streams := make([]*trace.Stream, cfg.Cores)
-	for i := range streams {
-		if streams[i], err = trace.NewStream(profile, 7, i); err != nil {
-			return sim.Results{}, err
-		}
+	identical := live.UIPC == replayed.UIPC && live.Cycles == replayed.Cycles &&
+		live.Design.Reads == replayed.Design.Reads && live.Design.ReadHits == replayed.Design.ReadHits
+	fmt.Printf("\nrecord/replay via %s:\n", path)
+	fmt.Printf("  live UIPC %.4f, replayed UIPC %.4f — bit-identical: %v\n",
+		live.UIPC, replayed.UIPC, identical)
+	if !identical {
+		log.Fatal("record/replay drifted — the replay no longer reproduces the live run")
 	}
-	machine, err := sim.New(cfg, streams, design, stacked, offchip)
-	if err != nil {
-		return sim.Results{}, err
-	}
-	return machine.Run(200_000), nil
 }

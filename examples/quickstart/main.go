@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,10 +12,14 @@ import (
 )
 
 func main() {
+	accesses := flag.Int("accesses", 0, "accesses per core (0 = library default; CI smoke passes a reduced count)")
+	flag.Parse()
+
 	run := uc.Run{
-		Workload: "web-search",
-		Design:   uc.DesignUnison,
-		Capacity: 1 << 30, // 1 GB of die-stacked DRAM
+		Workload:        "web-search",
+		Design:          uc.DesignUnison,
+		Capacity:        1 << 30, // 1 GB of die-stacked DRAM
+		AccessesPerCore: *accesses,
 	}
 
 	speedup, res, base, err := uc.Speedup(run)

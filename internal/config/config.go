@@ -3,6 +3,12 @@
 // size sweeps of Figures 5–8.
 package config
 
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
 // FCTagPoint is one column of Table IV.
 type FCTagPoint struct {
 	CacheBytes uint64
@@ -60,6 +66,42 @@ func CloudSuiteSizes() []uint64 {
 // TPCHSizes is the Figure 8 sweep for TPC-H.
 func TPCHSizes() []uint64 {
 	return []uint64{1 << 30, 2 << 30, 4 << 30, 8 << 30}
+}
+
+// ParseSize is SizeLabel's inverse for command-line flags: it understands
+// "128MB", "1GB", "8g", "64m", "4KB" and plain byte counts.
+func ParseSize(s string) (uint64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
+		mult = 1 << 30
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "GB"), "G")
+	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
+		mult = 1 << 20
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "MB"), "M")
+	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
+		mult = 1 << 10
+		t = strings.TrimSuffix(strings.TrimSuffix(t, "KB"), "K")
+	}
+	var v uint64
+	for _, c := range t {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad size %q", s)
+		}
+		d := uint64(c - '0')
+		if v > (math.MaxUint64-d)/10 {
+			return 0, fmt.Errorf("size %q overflows", s)
+		}
+		v = v*10 + d
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if v > math.MaxUint64/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v * mult, nil
 }
 
 // SizeLabel formats a capacity the way the figures do.

@@ -79,3 +79,33 @@ func TestSizeLabel(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"128MB", 128 << 20},
+		{"1GB", 1 << 30},
+		{"8g", 8 << 30},
+		{"64m", 64 << 20},
+		{"4KB", 4 << 10},
+		{" 512mb ", 512 << 20},
+		{"8192", 8192},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "abc", "12x34", "GB", "-1GB", "0", "20000000000G", "99999999999999999999999999"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}

@@ -42,11 +42,11 @@ func idealOverNone(t *testing.T, prof *trace.Profile) float64 {
 		o, _ := dram.NewController(dram.OffchipConfig())
 		cfg := Default()
 		cfg.L2.SizeBytes = 128 << 10
-		streams := make([]*trace.Stream, cfg.Cores)
-		for i := range streams {
-			streams[i], _ = trace.NewStream(prof, 1, i)
+		sources := make([]trace.Source, cfg.Cores)
+		for i := range sources {
+			sources[i], _ = trace.NewStream(prof, 1, i)
 		}
-		m, err := New(cfg, streams, mk(s, o), s, o)
+		m, err := New(cfg, sources, mk(s, o), s, o)
 		if err != nil {
 			t.Fatal(err)
 		}

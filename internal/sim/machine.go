@@ -1,7 +1,8 @@
 // Package sim is the trace-replay timing engine that stands in for the
 // paper's Flexus full-system simulation (§IV-A). Sixteen cores replay
-// synthetic workload streams through private L1 data caches and a shared
-// L2; L2 misses go to the DRAM cache design under test, which in turn uses
+// workload event sources — live synthetic streams or recorded traces,
+// anything implementing trace.Source — through private L1 data caches and a
+// shared L2; L2 misses go to the DRAM cache design under test, which in turn uses
 // the shared stacked and off-chip DRAM timing models. Contention emerges
 // from the shared DRAM bank/bus reservations; cores are advanced
 // minimum-clock-first so their clocks stay interleaved.
@@ -74,20 +75,22 @@ type coreState struct {
 	latSum uint64
 	latN   uint64
 	l1     *cache.Cache
-	stream *trace.Stream
+	src    trace.Source
 
 	// Measurement checkpoint (set when warmup ends).
 	clock0, instr0 uint64
 }
 
-// New builds a machine. The design must already be wired to the same
-// stacked/offchip controllers passed here (they are shared for stats).
-func New(cfg Config, streams []*trace.Stream, design dramcache.Design, stacked, offchip *dram.Controller) (*Machine, error) {
+// New builds a machine over one event source per core — live synthetic
+// streams, recorded-trace replays, or any other trace.Source. The design
+// must already be wired to the same stacked/offchip controllers passed here
+// (they are shared for stats).
+func New(cfg Config, sources []trace.Source, design dramcache.Design, stacked, offchip *dram.Controller) (*Machine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("sim: need at least one core")
 	}
-	if len(streams) != cfg.Cores {
-		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
 	}
 	if cfg.WarmupFrac < 0 || cfg.WarmupFrac >= 1 {
 		return nil, fmt.Errorf("sim: WarmupFrac %v outside [0,1)", cfg.WarmupFrac)
@@ -102,11 +105,14 @@ func New(cfg Config, streams []*trace.Stream, design dramcache.Design, stacked, 
 	m := &Machine{cfg: cfg, l2: l2, design: design, stacked: stacked, offchip: offchip}
 	m.cores = make([]coreState, cfg.Cores)
 	for i := range m.cores {
+		if sources[i] == nil {
+			return nil, fmt.Errorf("sim: nil source for core %d", i)
+		}
 		l1, err := cache.New(cfg.L1)
 		if err != nil {
 			return nil, err
 		}
-		m.cores[i] = coreState{l1: l1, stream: streams[i]}
+		m.cores[i] = coreState{l1: l1, src: sources[i]}
 	}
 	return m, nil
 }
@@ -183,7 +189,7 @@ func (m *Machine) replay(eventsPerCore int) {
 // step executes one trace event on core i.
 func (m *Machine) step(i int) {
 	c := &m.cores[i]
-	ev := c.stream.Next()
+	ev := c.src.Next()
 	c.clock += uint64(ev.Gap)
 	c.instr += uint64(ev.Gap) + 1
 

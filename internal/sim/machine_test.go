@@ -8,17 +8,17 @@ import (
 	"unisoncache/internal/trace"
 )
 
-func testStreams(t *testing.T, cores int, workload string) []*trace.Stream {
+func testSources(t *testing.T, cores int, workload string) []trace.Source {
 	t.Helper()
-	streams := make([]*trace.Stream, cores)
-	for i := range streams {
+	sources := make([]trace.Source, cores)
+	for i := range sources {
 		s, err := trace.NewStream(trace.Profiles()[workload], 42, i)
 		if err != nil {
 			t.Fatal(err)
 		}
-		streams[i] = s
+		sources[i] = s
 	}
-	return streams
+	return sources
 }
 
 func testMachine(t *testing.T, cfg Config, workload string, design func(s, o *dram.Controller) dramcache.Design) *Machine {
@@ -31,7 +31,7 @@ func testMachine(t *testing.T, cfg Config, workload string, design func(s, o *dr
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(cfg, testStreams(t, cfg.Cores, workload), design(s, o), s, o)
+	m, err := New(cfg, testSources(t, cfg.Cores, workload), design(s, o), s, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,13 @@ func TestNewValidation(t *testing.T) {
 	cfg := Default()
 	cfg.Cores = 2
 	if _, err := New(cfg, nil, dramcache.NewNone(o), s, o); err == nil {
-		t.Error("stream/core mismatch accepted")
+		t.Error("nil source slice accepted")
+	}
+	if _, err := New(cfg, testSources(t, 1, "web-search"), dramcache.NewNone(o), s, o); err == nil {
+		t.Error("short source slice accepted")
+	}
+	if _, err := New(cfg, []trace.Source{nil, nil}, dramcache.NewNone(o), s, o); err == nil {
+		t.Error("nil source entries accepted")
 	}
 	cfg.Cores = 0
 	if _, err := New(cfg, nil, dramcache.NewNone(o), s, o); err == nil {
@@ -72,9 +78,7 @@ func TestNewValidation(t *testing.T) {
 	cfg = Default()
 	cfg.Cores = 1
 	cfg.WarmupFrac = 1.0
-	st := make([]*trace.Stream, 1)
-	st[0], _ = trace.NewStream(trace.Profiles()["web-search"], 1, 0)
-	if _, err := New(cfg, st, dramcache.NewNone(o), s, o); err == nil {
+	if _, err := New(cfg, testSources(t, 1, "web-search"), dramcache.NewNone(o), s, o); err == nil {
 		t.Error("WarmupFrac=1 accepted")
 	}
 }

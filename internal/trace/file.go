@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"unisoncache/internal/mem"
+)
+
+// The .utrace binary format, version 1.
+//
+// A capture freezes the exact per-core event streams of one run so it can
+// be replayed later — bit-identical, without the synthetic generator. The
+// layout is a versioned header followed by one length-prefixed section per
+// core:
+//
+//	magic   4 bytes  "UTRC"
+//	version uvarint  (1)
+//	profile uvarint length + bytes (workload name the capture came from)
+//	seed    uvarint
+//	scale   uvarint  (proportional-scaling divisor the streams were generated with)
+//	cores   uvarint
+//	events  uvarint  (events per core)
+//	cores × { uvarint section length, section bytes }
+//
+// Each section encodes its core's events in order, three varints per event:
+//
+//	gap<<1 | write    uvarint — instruction gap with the store bit packed low
+//	block delta       zigzag varint vs the previous event's block number
+//	PC delta          zigzag varint vs the previous event's PC
+//
+// Deltas start from zero. Addresses are block-aligned (the generator only
+// emits block-granular references), so encoding block numbers is lossless.
+// Consecutive events mostly walk adjacent blocks under the same PC, so the
+// common event costs three bytes.
+const (
+	// FileVersion is the current .utrace format version.
+	FileVersion = 1
+	// FileMaxCores bounds the header's core count against corrupt or
+	// hostile inputs.
+	FileMaxCores = 4096
+
+	fileMagic      = "UTRC"
+	maxProfileName = 1024
+)
+
+// FileHeader is the metadata a .utrace capture carries.
+type FileHeader struct {
+	// Profile is the workload name the capture was generated from. Replay
+	// does not need the profile itself — the events are frozen — so a
+	// capture outlives its workload registration.
+	Profile string
+	// Seed is the stream seed of the capture.
+	Seed uint64
+	// ScaleDivisor is the proportional-scaling divisor the streams were
+	// generated with: the frozen events embed the divided working set, so
+	// a replay is only meaningful against a run using the same divisor.
+	ScaleDivisor int
+	// Cores is the number of per-core sections.
+	Cores int
+	// EventsPerCore is each section's event count.
+	EventsPerCore int
+}
+
+func (h FileHeader) validate() error {
+	if h.Cores <= 0 || h.Cores > FileMaxCores {
+		return fmt.Errorf("trace: file header: %d cores outside [1,%d]", h.Cores, FileMaxCores)
+	}
+	if h.EventsPerCore <= 0 {
+		return fmt.Errorf("trace: file header: %d events per core", h.EventsPerCore)
+	}
+	if h.ScaleDivisor < 1 {
+		return fmt.Errorf("trace: file header: scale divisor %d", h.ScaleDivisor)
+	}
+	if len(h.Profile) > maxProfileName {
+		return fmt.Errorf("trace: file header: profile name %d bytes long", len(h.Profile))
+	}
+	return nil
+}
+
+// WriteTrace captures h.EventsPerCore events from each source into w in the
+// .utrace format. Sources are drained core-major, so memory stays bounded
+// by one encoded section regardless of trace length.
+func WriteTrace(w io.Writer, h FileHeader, sources []Source) error {
+	if err := h.validate(); err != nil {
+		return err
+	}
+	if len(sources) != h.Cores {
+		return fmt.Errorf("trace: %d sources for %d header cores", len(sources), h.Cores)
+	}
+	var hdr []byte
+	hdr = append(hdr, fileMagic...)
+	hdr = binary.AppendUvarint(hdr, FileVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(len(h.Profile)))
+	hdr = append(hdr, h.Profile...)
+	hdr = binary.AppendUvarint(hdr, h.Seed)
+	hdr = binary.AppendUvarint(hdr, uint64(h.ScaleDivisor))
+	hdr = binary.AppendUvarint(hdr, uint64(h.Cores))
+	hdr = binary.AppendUvarint(hdr, uint64(h.EventsPerCore))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var sec []byte
+	for core, src := range sources {
+		if src == nil {
+			return fmt.Errorf("trace: nil source for core %d", core)
+		}
+		sec = sec[:0]
+		var prevBlock, prevPC uint64
+		for i := 0; i < h.EventsPerCore; i++ {
+			ev := src.Next()
+			g := uint64(ev.Gap) << 1
+			if ev.Write {
+				g |= 1
+			}
+			block := ev.Addr.Block()
+			sec = binary.AppendUvarint(sec, g)
+			sec = binary.AppendUvarint(sec, zigzag(int64(block)-int64(prevBlock)))
+			sec = binary.AppendUvarint(sec, zigzag(int64(ev.PC)-int64(prevPC)))
+			prevBlock, prevPC = block, ev.PC
+		}
+		if _, err := w.Write(binary.AppendUvarint(nil, uint64(len(sec)))); err != nil {
+			return err
+		}
+		if _, err := w.Write(sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a .utrace capture and returns one ReplaySource per core.
+// The whole file is validated up front — every section must decode to
+// exactly the header's event count — so the returned sources cannot fail
+// mid-replay.
+func ReadTrace(r io.Reader) (FileHeader, []*ReplaySource, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return FileHeader{}, nil, fmt.Errorf("trace: reading capture: %w", err)
+	}
+	buf := bytes.NewBuffer(data)
+	if len(data) < len(fileMagic) || string(buf.Next(len(fileMagic))) != fileMagic {
+		return FileHeader{}, nil, fmt.Errorf("trace: not a .utrace capture (bad magic)")
+	}
+	version, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return FileHeader{}, nil, fmt.Errorf("trace: truncated header")
+	}
+	if version != FileVersion {
+		return FileHeader{}, nil, fmt.Errorf("trace: unsupported .utrace version %d (have %d)", version, FileVersion)
+	}
+	var h FileHeader
+	nameLen, err := binary.ReadUvarint(buf)
+	if err != nil || nameLen > maxProfileName || int(nameLen) > buf.Len() {
+		return FileHeader{}, nil, fmt.Errorf("trace: corrupt header (profile name)")
+	}
+	h.Profile = string(buf.Next(int(nameLen)))
+	if h.Seed, err = binary.ReadUvarint(buf); err != nil {
+		return FileHeader{}, nil, fmt.Errorf("trace: truncated header")
+	}
+	scale, err0 := binary.ReadUvarint(buf)
+	cores, err1 := binary.ReadUvarint(buf)
+	events, err2 := binary.ReadUvarint(buf)
+	if err0 != nil || err1 != nil || err2 != nil ||
+		scale > math.MaxInt32 || cores > math.MaxInt32 || events > math.MaxInt32 {
+		return FileHeader{}, nil, fmt.Errorf("trace: truncated header")
+	}
+	h.ScaleDivisor, h.Cores, h.EventsPerCore = int(scale), int(cores), int(events)
+	if err := h.validate(); err != nil {
+		return FileHeader{}, nil, err
+	}
+	sources := make([]*ReplaySource, h.Cores)
+	for c := range sources {
+		secLen, err := binary.ReadUvarint(buf)
+		if err != nil || secLen > uint64(buf.Len()) {
+			return FileHeader{}, nil, fmt.Errorf("trace: truncated section for core %d", c)
+		}
+		rs := &ReplaySource{data: buf.Next(int(secLen)), remaining: h.EventsPerCore}
+		if err := rs.verify(); err != nil {
+			return FileHeader{}, nil, fmt.Errorf("trace: core %d: %w", c, err)
+		}
+		sources[c] = rs
+	}
+	if buf.Len() != 0 {
+		return FileHeader{}, nil, fmt.Errorf("trace: %d trailing bytes after last section", buf.Len())
+	}
+	return h, sources, nil
+}
+
+// ReplaySource replays one core's section of a .utrace capture, decoding
+// events lazily so a full trace never materializes in memory. It implements
+// Source; construct it through ReadTrace, which validates every section.
+type ReplaySource struct {
+	data      []byte
+	pos       int
+	remaining int
+	prevBlock uint64
+	prevPC    uint64
+}
+
+// Remaining returns how many recorded events have not been replayed yet.
+func (s *ReplaySource) Remaining() int { return s.remaining }
+
+// Next implements Source. ReadTrace has already proven the section decodes
+// cleanly, so the only possible failure is pulling past the recorded
+// length, which panics — bound demand with Remaining.
+func (s *ReplaySource) Next() Event {
+	ev, err := s.next()
+	if err != nil {
+		panic("trace: replay: " + err.Error())
+	}
+	return ev
+}
+
+// next decodes one event, reporting truncation or corruption.
+func (s *ReplaySource) next() (Event, error) {
+	if s.remaining <= 0 {
+		return Event{}, fmt.Errorf("source drained past its recorded length")
+	}
+	g, err := s.uvarint()
+	if err != nil {
+		return Event{}, err
+	}
+	if g>>1 > math.MaxUint32 {
+		return Event{}, fmt.Errorf("instruction gap overflows uint32")
+	}
+	blockDelta, err := s.varint()
+	if err != nil {
+		return Event{}, err
+	}
+	pcDelta, err := s.varint()
+	if err != nil {
+		return Event{}, err
+	}
+	block := int64(s.prevBlock) + blockDelta
+	if block < 0 {
+		return Event{}, fmt.Errorf("negative block number")
+	}
+	s.prevBlock = uint64(block)
+	s.prevPC = uint64(int64(s.prevPC) + pcDelta)
+	s.remaining--
+	return Event{
+		Gap:   uint32(g >> 1),
+		Addr:  mem.BlockAddr(s.prevBlock),
+		PC:    s.prevPC,
+		Write: g&1 != 0,
+	}, nil
+}
+
+// verify decodes the whole section on a scratch copy: exactly `remaining`
+// events consuming exactly the section's bytes.
+func (s *ReplaySource) verify() error {
+	t := *s
+	for t.remaining > 0 {
+		if _, err := t.next(); err != nil {
+			return err
+		}
+	}
+	if t.pos != len(t.data) {
+		return fmt.Errorf("%d trailing bytes in section", len(t.data)-t.pos)
+	}
+	return nil
+}
+
+func (s *ReplaySource) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(s.data[s.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated event at byte %d", s.pos)
+	}
+	s.pos += n
+	return v, nil
+}
+
+func (s *ReplaySource) varint() (int64, error) {
+	u, err := s.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// zigzag maps signed deltas onto small unsigned varints.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,21 @@
+package trace
+
+// Source produces one core's access-event stream. The timing engine pulls
+// events one at a time and never looks ahead, so any producer — the live
+// synthetic generator (*Stream), a recorded-trace reader (*ReplaySource),
+// or a custom generator — can drive a simulation. Implementations must be
+// deterministic for the replay engine's bit-identical-results contract to
+// hold: pulling N events twice from identically constructed sources must
+// yield the same N events.
+type Source interface {
+	// Next returns the next access event. Sources are unbounded from the
+	// consumer's point of view: the simulator decides how many events to
+	// pull. Finite sources (trace files) panic when drained past their
+	// recorded length; callers bound their demand up front.
+	Next() Event
+}
+
+var (
+	_ Source = (*Stream)(nil)
+	_ Source = (*ReplaySource)(nil)
+)

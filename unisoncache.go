@@ -32,7 +32,6 @@ import (
 	"unisoncache/internal/dramcache"
 	"unisoncache/internal/mem"
 	"unisoncache/internal/sim"
-	"unisoncache/internal/trace"
 )
 
 // DesignKind selects the DRAM cache organization under test.
@@ -66,12 +65,11 @@ func Designs() []DesignKind {
 	return []DesignKind{DesignUnison, DesignUnison1984, DesignAlloy, DesignFootprint, DesignLohHill, DesignIdeal, DesignNone}
 }
 
-// Workloads lists the six workload names (CloudSuite five plus TPC-H).
-func Workloads() []string { return trace.Names() }
-
 // Run configures one simulation.
 type Run struct {
-	// Workload is one of Workloads().
+	// Workload is one of Workloads() — a built-in name or one added with
+	// RegisterWorkload. When replaying a trace (TracePath set) it may be
+	// left empty to take the capture's workload name.
 	Workload string
 	// Design is the DRAM cache organization under test.
 	Design DesignKind
@@ -89,7 +87,7 @@ type Run struct {
 	// divided by this factor, preserving every capacity-to-working-set
 	// ratio while making multi-gigabyte configurations tractable without
 	// the paper's 30-billion-instruction traces. The default (0) picks
-	// the divisor automatically so the simulated cache is at most 64 MB —
+	// the divisor automatically so the simulated cache is at most 32 MB —
 	// small enough to fill, evict and reach predictor steady state within
 	// a few hundred thousand accesses per core. Latency-relevant
 	// parameters — the Footprint Cache tag-array latency (Table IV) and
@@ -98,6 +96,17 @@ type Run struct {
 	// full-scale simulation (needs very long traces), or -1 for the
 	// automatic choice spelled explicitly.
 	ScaleDivisor int
+
+	// TracePath, when non-empty, replays a .utrace capture (written by
+	// RecordTrace or tracegen -record) instead of generating the synthetic
+	// stream live. Zero-valued Workload, Seed, Cores and AccessesPerCore
+	// take the capture header's values; explicitly set ones must match the
+	// header, except AccessesPerCore, which may replay a prefix of the
+	// capture. The effective ScaleDivisor must equal the capture's (the
+	// frozen events embed the capture-time scaled working set), so keep
+	// Capacity/ScaleDivisor as recorded; design knobs (Design, ways,
+	// ablations) apply freely, so one capture serves a whole design sweep.
+	TracePath string
 
 	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
 	// sweeps 1/4/32).
@@ -111,16 +120,20 @@ type Run struct {
 	FCWays int
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields. Trace replays leave the stream-shaped
+// fields (workload, seed, cores, accesses) zero so Execute can fill them
+// from the capture's header instead.
 func (r Run) withDefaults() Run {
-	if r.AccessesPerCore == 0 {
-		r.AccessesPerCore = 400_000
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	if r.Cores == 0 {
-		r.Cores = 16
+	if r.TracePath == "" {
+		if r.AccessesPerCore == 0 {
+			r.AccessesPerCore = 400_000
+		}
+		if r.Seed == 0 {
+			r.Seed = 1
+		}
+		if r.Cores == 0 {
+			r.Cores = 16
+		}
 	}
 	if r.UnisonWays == 0 {
 		r.UnisonWays = 4
@@ -158,22 +171,18 @@ type Result struct {
 // MissRatioPct is the DRAM cache demand-read miss ratio in percent.
 func (r Result) MissRatioPct() float64 { return r.Design.MissRatioPct() }
 
-// Execute runs one simulation to completion.
+// Execute runs one simulation to completion. The event streams come from
+// the workload's synthetic generator, or — when Run.TracePath is set — from
+// a .utrace capture, which reproduces the recorded run bit-identically.
 func Execute(r Run) (Result, error) {
 	r = r.withDefaults()
-	prof, ok := trace.Profiles()[r.Workload]
-	if !ok {
-		return Result{}, fmt.Errorf("unisoncache: unknown workload %q (have %v)", r.Workload, Workloads())
-	}
 	if r.ScaleDivisor < 1 {
 		return Result{}, fmt.Errorf("unisoncache: ScaleDivisor must be >= 1, got %d", r.ScaleDivisor)
 	}
-	scaled := *prof
-	scaled.WorkingSetBytes = prof.WorkingSetBytes / uint64(r.ScaleDivisor)
-	if scaled.WorkingSetBytes < trace.RegionBytes {
-		scaled.WorkingSetBytes = trace.RegionBytes
+	r, sources, err := r.sources()
+	if err != nil {
+		return Result{}, err
 	}
-	prof = &scaled
 	stacked, err := dram.NewController(dram.StackedConfig())
 	if err != nil {
 		return Result{}, err
@@ -197,14 +206,7 @@ func Execute(r Run) (Result, error) {
 	} else {
 		cfg.L2.SizeBytes = 128 << 10
 	}
-	streams := make([]*trace.Stream, cfg.Cores)
-	for i := range streams {
-		streams[i], err = trace.NewStream(prof, r.Seed, i)
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	machine, err := sim.New(cfg, streams, design, stacked, offchip)
+	machine, err := sim.New(cfg, sources, design, stacked, offchip)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,71 @@
+package unisoncache
+
+import (
+	"reflect"
+	"testing"
+
+	"unisoncache/internal/trace"
+)
+
+// TestProfileMirrorsTraceProfile guards the hand-maintained conversion pair
+// (Profile.internal / publicProfile): the public Profile must mirror every
+// trace.Profile field except Name, with identical names and types, so a new
+// generator parameter cannot silently vanish from the public API.
+func TestProfileMirrorsTraceProfile(t *testing.T) {
+	pub := reflect.TypeOf(Profile{})
+	pubFields := map[string]reflect.Type{}
+	for i := 0; i < pub.NumField(); i++ {
+		f := pub.Field(i)
+		pubFields[f.Name] = f.Type
+	}
+	intl := reflect.TypeOf(trace.Profile{})
+	mirrored := 0
+	for i := 0; i < intl.NumField(); i++ {
+		f := intl.Field(i)
+		if f.Name == "Name" {
+			continue
+		}
+		ty, ok := pubFields[f.Name]
+		if !ok {
+			t.Errorf("trace.Profile field %s missing from public Profile", f.Name)
+			continue
+		}
+		if ty != f.Type {
+			t.Errorf("field %s: public type %v, internal type %v", f.Name, ty, f.Type)
+		}
+		mirrored++
+	}
+	if mirrored != len(pubFields) {
+		t.Errorf("public Profile has %d fields, trace.Profile accounts for %d", len(pubFields), mirrored)
+	}
+}
+
+// TestProfileConversionRoundTrips sets every public field to a distinct
+// non-zero value and pushes it through both converters: a field either
+// converter forgets comes back zeroed and fails the comparison.
+func TestProfileConversionRoundTrips(t *testing.T) {
+	var p Profile
+	v := reflect.ValueOf(&p).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Int:
+			f.SetInt(int64(i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(i+1) / 100)
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("field %s: unhandled kind %v — extend this test", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	internal := p.internal("round-trip")
+	if internal.Name != "round-trip" {
+		t.Errorf("internal name = %q", internal.Name)
+	}
+	if got := publicProfile(internal); got != p {
+		t.Errorf("conversion round trip lost data:\n in  %+v\n out %+v", p, got)
+	}
+}
