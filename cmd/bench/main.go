@@ -1,0 +1,222 @@
+// Command bench runs the repository's end-to-end performance benchmarks
+// and records the numbers in a JSON trajectory file (BENCH_core.json at the
+// repo root), so every PR measures itself against the ones before it.
+//
+// Two kinds of benchmarks run:
+//
+//   - Fig7Performance/<design>: one complete Figure 7 simulation per
+//     iteration (the same cell bench_test.go measures), reporting ns/op,
+//     allocs/op, simulated events per second and the headline metrics
+//     (speedup over the no-cache baseline, UIPC).
+//   - SteadyReplay/unison: the measured-interval hot loop in isolation — a
+//     prewarmed machine replaying events with no setup in the timed
+//     region. Its allocs/op is the zero-allocation contract: the run fails
+//     (exit 1) if it exceeds -max-steady-allocs, which defaults to 0.
+//
+// Usage:
+//
+//	go run ./cmd/bench                      # full run, appends to BENCH_core.json
+//	go run ./cmd/bench -quick               # CI-sized run (~seconds)
+//	go run ./cmd/bench -label my-change     # tag the record
+//	go run ./cmd/bench -out /tmp/b.json     # write elsewhere
+//
+// Records append: the committed file keeps one record per milestone, so
+// the improvement (or regression) of each change stays visible. Compare
+// the newest record's ns_per_op against any older one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	uc "unisoncache"
+	"unisoncache/internal/core"
+	"unisoncache/internal/dram"
+	"unisoncache/internal/sim"
+	"unisoncache/internal/trace"
+)
+
+// Measurement is one benchmark's recorded numbers.
+type Measurement struct {
+	NsPerOp      float64            `json:"ns_per_op"`
+	AllocsPerOp  int64              `json:"allocs_per_op"`
+	BytesPerOp   int64              `json:"bytes_per_op"`
+	EventsPerSec float64            `json:"events_per_sec,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is one bench invocation: a labeled set of measurements.
+type Record struct {
+	Label      string                 `json:"label"`
+	GoVersion  string                 `json:"go_version"`
+	Quick      bool                   `json:"quick,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// File is the BENCH_core.json layout.
+type File struct {
+	Schema  int      `json:"schema"`
+	Records []Record `json:"records"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "trajectory file to append to")
+	label := flag.String("label", "HEAD", "label for this record")
+	quick := flag.Bool("quick", false, "CI-sized run: shorter traces, one pass")
+	maxSteadyAllocs := flag.Int64("max-steady-allocs", 0, "fail if SteadyReplay allocs/op exceed this (negative disables)")
+	flag.Parse()
+
+	accesses := 60_000
+	if *quick {
+		accesses = 20_000
+	}
+
+	rec := Record{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+		Benchmarks: map[string]Measurement{},
+	}
+
+	// Fig7Performance: speedup per design over the shared no-cache
+	// baseline, exactly the bench_test.go cell.
+	base, err := uc.Execute(uc.Run{Workload: "data-serving", Design: uc.DesignNone,
+		Capacity: 1 << 30, AccessesPerCore: accesses})
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal} {
+		name := "Fig7Performance/" + string(d)
+		var res uc.Result
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = uc.Execute(uc.Run{Workload: "data-serving", Design: d,
+					Capacity: 1 << 30, AccessesPerCore: accesses})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		events := float64(res.Run.AccessesPerCore) * float64(res.Run.Cores)
+		rec.Benchmarks[name] = Measurement{
+			NsPerOp:      float64(br.NsPerOp()),
+			AllocsPerOp:  br.AllocsPerOp(),
+			BytesPerOp:   br.AllocedBytesPerOp(),
+			EventsPerSec: events / float64(br.NsPerOp()) * 1e9,
+			Metrics: map[string]float64{
+				"speedup": res.UIPC / base.UIPC,
+				"uipc":    res.UIPC,
+			},
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  speedup %.3f\n",
+			name, float64(br.NsPerOp()), events/float64(br.NsPerOp())*1e3, br.AllocsPerOp(), res.UIPC/base.UIPC)
+	}
+
+	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on
+	// every core; setup happens before the timer starts.
+	const steadyBatch = 5_000
+	steadyCores := 16
+	m := steadyMachine(steadyCores)
+	m.Replay(20_000)
+	var steady Measurement
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Replay(steadyBatch)
+		}
+	})
+	steady = Measurement{
+		NsPerOp:      float64(br.NsPerOp()),
+		AllocsPerOp:  br.AllocsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+		EventsPerSec: float64(steadyBatch*steadyCores) / float64(br.NsPerOp()) * 1e9,
+	}
+	rec.Benchmarks["SteadyReplay/unison"] = steady
+	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op\n",
+		"SteadyReplay/unison", steady.NsPerOp, steady.EventsPerSec/1e6, steady.AllocsPerOp)
+
+	if err := appendRecord(*out, rec); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %q in %s\n", *label, *out)
+
+	if *maxSteadyAllocs >= 0 && steady.AllocsPerOp > *maxSteadyAllocs {
+		fmt.Fprintf(os.Stderr, "bench: steady-state replay allocates %d times per op (max %d): the zero-allocation hot-path contract regressed\n",
+			steady.AllocsPerOp, *maxSteadyAllocs)
+		os.Exit(1)
+	}
+}
+
+// steadyMachine wires the Figure 7 unison cell at simulation scale, the
+// way the facade does, but exposed as a raw machine so the timed region is
+// nothing but the replay loop.
+func steadyMachine(cores int) *sim.Machine {
+	const labelCap = uint64(1 << 30)
+	div := uint64(uc.AutoScaleDivisor(labelCap))
+	prof := *trace.Profiles()["data-serving"]
+	prof.WorkingSetBytes /= div
+	sources := make([]trace.Source, cores)
+	for i := range sources {
+		s, err := trace.NewStream(&prof, 1, i)
+		if err != nil {
+			fatal(err)
+		}
+		sources[i] = s
+	}
+	stacked, err := dram.NewController(dram.StackedConfig())
+	if err != nil {
+		fatal(err)
+	}
+	offchip, err := dram.NewController(dram.OffchipConfig())
+	if err != nil {
+		fatal(err)
+	}
+	design, err := core.New(core.Config{
+		CapacityBytes: labelCap / div,
+		LabelBytes:    labelCap,
+		PageBlocks:    15,
+		Ways:          4,
+	}, stacked, offchip)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Cores = cores
+	cfg.L2.SizeBytes = 128 << 10
+	m, err := sim.New(cfg, sources, design, stacked, offchip)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+// appendRecord loads the trajectory file (if any), appends rec and writes
+// it back.
+func appendRecord(path string, rec Record) error {
+	f := File{Schema: 1}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Schema = 1
+	f.Records = append(f.Records, rec)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

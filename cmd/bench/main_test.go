@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	first := Record{Label: "a", GoVersion: "go0", Benchmarks: map[string]Measurement{
+		"x": {NsPerOp: 123, AllocsPerOp: 4, Metrics: map[string]float64{"speedup": 2.5}},
+	}}
+	if err := appendRecord(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := Record{Label: "b", GoVersion: "go0", Benchmarks: map[string]Measurement{
+		"x": {NsPerOp: 99},
+	}}
+	if err := appendRecord(path, second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != 1 || len(f.Records) != 2 {
+		t.Fatalf("file = %+v, want schema 1 with 2 records", f)
+	}
+	if f.Records[0].Label != "a" || f.Records[1].Label != "b" {
+		t.Errorf("labels = %q, %q", f.Records[0].Label, f.Records[1].Label)
+	}
+	if got := f.Records[0].Benchmarks["x"].Metrics["speedup"]; got != 2.5 {
+		t.Errorf("metric round-trip = %v, want 2.5", got)
+	}
+}
+
+func TestAppendRecordRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRecord(path, Record{Label: "x"}); err == nil {
+		t.Fatal("appendRecord accepted a corrupt trajectory file")
+	}
+}
+
+// TestSteadyMachineReplays exercises the bench's hand-wired machine: it
+// must replay without panicking and allocate nothing once warm (the
+// contract the -max-steady-allocs gate enforces).
+func TestSteadyMachineReplays(t *testing.T) {
+	m := steadyMachine(2)
+	m.Replay(4_000)
+	if allocs := testing.AllocsPerRun(5, func() { m.Replay(1_000) }); allocs != 0 {
+		t.Errorf("steady machine allocates %v per replay, want 0", allocs)
+	}
+}

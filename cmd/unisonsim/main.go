@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	uc "unisoncache"
@@ -21,6 +23,12 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the whole run so its defers — in particular the pprof
+// stop/flush — execute on error paths too; os.Exit happens only in main.
+func realMain() int {
 	workload := flag.String("workload", "web-search", "one of: "+strings.Join(uc.Workloads(), ", "))
 	design := flag.String("design", "unison", "one of: unison, unison-1984, alloy, footprint, ideal, none")
 	size := flag.String("size", "1GB", "cache capacity (e.g. 128MB, 1GB, 8GB)")
@@ -31,11 +39,39 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a .utrace capture (tracegen -record); workload, seed and core count come from the file")
 	noBaseline := flag.Bool("no-baseline", false, "skip the baseline run (no speedup)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations for the design+baseline pair (0 = one per CPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	capacity, err := parseSize(*size)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	run := uc.Run{
 		Workload:        *workload,
@@ -77,7 +113,7 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	d := res.Design
@@ -114,11 +150,14 @@ func main() {
 	fmt.Printf("stacked DRAM    %.0f%% row-buffer hits, %d activations\n",
 		100*res.Stacked.RowHitRate(), res.Stacked.Activations)
 	fmt.Printf("L1 hit rate     %.1f%%   L2 hit rate %.1f%%\n", 100*res.L1HitRate, 100*res.L2.HitRate())
+	return 0
 }
 
-func fatal(err error) {
+// fail reports err and returns the process exit code; callers return it so
+// deferred cleanups (profile flushes) still run before main exits.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "unisonsim:", err)
-	os.Exit(1)
+	return 1
 }
 
 // flagProvided reports whether the named flag was set on the command line.

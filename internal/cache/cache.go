@@ -64,17 +64,30 @@ const (
 	stateDirty
 )
 
+// tagInvalid is the tag stored in invalid ways. Block numbers are physical
+// byte addresses divided by 64, so no reachable block ever equals it; the
+// hit loop can then compare tags alone without consulting the state array.
+const tagInvalid = ^uint64(0)
+
 // Cache is one SRAM cache level. Not safe for concurrent use.
 type Cache struct {
 	cfg     Config
 	sets    uint64
 	setMask uint64
 	ways    int
-	// tags, state and lru are sets*ways flat arrays; way w of set s lives
-	// at index s*ways+w. lru holds recency ranks: 0 = MRU, ways-1 = LRU.
+	// tags, state, lru and order are sets*ways flat arrays; way w of set s
+	// lives at index s*ways+w. Invalid ways hold tagInvalid. lru holds
+	// recency ranks (0 = MRU, ways-1 = LRU) and order is its inverse —
+	// order[s*ways+r] is the way holding rank r — so the MRU probe and
+	// LRU victim choice are both O(1) lookups instead of scans.
 	tags  []uint64
 	state []uint8
 	lru   []uint8
+	order []uint8
+	// fill counts each set's valid ways. Ways fill in index order and are
+	// never invalidated, so ways [0, fill) are valid and fill is the next
+	// invalid way — victim selection scans nothing until the set is full.
+	fill  []uint8
 	stats Stats
 }
 
@@ -92,10 +105,16 @@ func New(cfg Config) (*Cache, error) {
 		tags:    make([]uint64, sets*uint64(cfg.Ways)),
 		state:   make([]uint8, sets*uint64(cfg.Ways)),
 		lru:     make([]uint8, sets*uint64(cfg.Ways)),
+		order:   make([]uint8, sets*uint64(cfg.Ways)),
+		fill:    make([]uint8, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
 	}
 	for s := uint64(0); s < sets; s++ {
 		for w := 0; w < cfg.Ways; w++ {
 			c.lru[s*uint64(cfg.Ways)+uint64(w)] = uint8(w)
+			c.order[s*uint64(cfg.Ways)+uint64(w)] = uint8(w)
 		}
 	}
 	return c, nil
@@ -129,10 +148,20 @@ func (c *Cache) Access(block uint64, write bool) Result {
 	c.stats.Accesses++
 	set := block & c.setMask
 	base := set * uint64(c.ways)
-	// Lookup.
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.state[i] != stateInvalid && c.tags[i] == block {
+	// Fast path: re-touching the set's MRU way. No promotion needed, and
+	// block-repeat locality makes this the most common cache event.
+	if m := base + uint64(c.order[base]); c.tags[m] == block {
+		c.stats.Hits++
+		if write {
+			c.state[m] = stateDirty
+		}
+		return Result{Hit: true}
+	}
+	// Lookup: invalid ways hold tagInvalid, so one compare per way
+	// suffices. The subslice lets the compiler drop per-way bounds checks.
+	for w, tag := range c.tags[base : base+uint64(c.ways)] {
+		if tag == block {
+			i := base + uint64(w)
 			c.stats.Hits++
 			if write {
 				c.state[i] = stateDirty
@@ -141,18 +170,15 @@ func (c *Cache) Access(block uint64, write bool) Result {
 			return Result{Hit: true}
 		}
 	}
-	// Miss: pick the LRU way (preferring invalid ways, which carry the
-	// highest ranks after initialization).
-	victim := uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lru[i] == uint8(c.ways-1) {
-			victim = uint64(w)
-		}
-		if c.state[i] == stateInvalid {
-			victim = uint64(w)
-			break
-		}
+	// Miss: fill the next invalid way while the set has one (ways fill in
+	// index order — exactly the way the original invalid-preferring scan
+	// chose), else evict the way holding the LRU rank.
+	var victim uint64
+	if f := c.fill[set]; int(f) < c.ways {
+		victim = uint64(f)
+		c.fill[set] = f + 1
+	} else {
+		victim = uint64(c.order[base+uint64(c.ways-1)])
 	}
 	i := base + victim
 	res := Result{}
@@ -175,32 +201,35 @@ func (c *Cache) Access(block uint64, write bool) Result {
 func (c *Cache) Contains(block uint64) bool {
 	set := block & c.setMask
 	base := set * uint64(c.ways)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.state[i] != stateInvalid && c.tags[i] == block {
+	for _, tag := range c.tags[base : base+uint64(c.ways)] {
+		if tag == block {
 			return true
 		}
 	}
 	return false
 }
 
-// promote makes way the MRU of its set.
+// promote makes way the MRU of its set: ranks below its old one slide up,
+// realized as a shift of the rank-ordered way list. Re-promoting the MRU —
+// the common case under block-repeat locality — is a no-op.
 func (c *Cache) promote(base, way uint64) {
-	old := c.lru[base+way]
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.lru[i] < old {
-			c.lru[i]++
-		}
+	old := uint64(c.lru[base+way])
+	if old == 0 {
+		return
 	}
-	c.lru[base+way] = 0
+	copy(c.order[base+1:base+old+1], c.order[base:base+old])
+	c.order[base] = uint8(way)
+	for r := uint64(0); r <= old; r++ {
+		c.lru[base+uint64(c.order[base+r])] = uint8(r)
+	}
 }
 
 // Sets returns the number of sets (exported for tests and sizing reports).
 func (c *Cache) Sets() uint64 { return c.sets }
 
 // checkLRUInvariant verifies each set's ranks are a permutation of
-// 0..ways-1. Exposed (unexported) for property tests.
+// 0..ways-1 and that the cached MRU way really holds rank 0. Exposed
+// (unexported) for property tests.
 func (c *Cache) checkLRUInvariant() error {
 	for s := uint64(0); s < c.sets; s++ {
 		var seen uint64
@@ -213,6 +242,18 @@ func (c *Cache) checkLRUInvariant() error {
 				return fmt.Errorf("set %d: duplicate rank %d", s, r)
 			}
 			seen |= 1 << r
+		}
+		for r := 0; r < c.ways; r++ {
+			w := c.order[s*uint64(c.ways)+uint64(r)]
+			if int(w) >= c.ways || c.lru[s*uint64(c.ways)+uint64(w)] != uint8(r) {
+				return fmt.Errorf("set %d rank %d: order way %d disagrees with lru ranks", s, r, w)
+			}
+		}
+		for w := 0; w < c.ways; w++ {
+			valid := c.state[s*uint64(c.ways)+uint64(w)] != stateInvalid
+			if want := w < int(c.fill[s]); valid != want {
+				return fmt.Errorf("set %d way %d: validity %v breaks the fill-order invariant (fill %d)", s, w, valid, c.fill[s])
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,40 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSize hammers the size-flag parser with arbitrary strings: it
+// must never panic, and every accepted input must obey the invariants the
+// commands rely on — a positive byte count that round-trips through the
+// unit multiplier without overflow.
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{
+		"1GB", "128MB", "8g", "64m", "4KB", "512", "0", "", " 2 GB ",
+		"18446744073709551615", "99999999999999999999GB", "-1MB", "1.5GB",
+		"GB", "kB", "1kk", "０１", "1\x00GB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseSize(s)
+		if err != nil {
+			return
+		}
+		if v == 0 {
+			t.Fatalf("ParseSize(%q) accepted a zero size", s)
+		}
+		// Accepted inputs must be digits plus an optional recognized
+		// suffix: anything else slipping through is a parser hole.
+		u := strings.ToUpper(strings.TrimSpace(s))
+		for _, suf := range []string{"GB", "G", "MB", "M", "KB", "K"} {
+			u = strings.TrimSuffix(u, suf)
+		}
+		for _, c := range u {
+			if c < '0' || c > '9' {
+				t.Fatalf("ParseSize(%q) = %d accepted non-digit payload %q", s, v, u)
+			}
+		}
+	})
+}

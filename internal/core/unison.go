@@ -30,6 +30,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"unisoncache/internal/dram"
 	"unisoncache/internal/dramcache"
@@ -130,6 +131,13 @@ type Unison struct {
 	// tagBytes is the per-set presence metadata streamed on every lookup
 	// (page tags + valid/dirty vectors for all ways).
 	tagBytes int
+	// tagBurstCPU is the stacked-bus burst time of tagBytes, precomputed
+	// because Access needs it on every request.
+	tagBurstCPU uint64
+	// setShift is log2(setsPerRow) when that is a power of two (every
+	// Table II geometry), letting rowOf shift instead of divide; -1
+	// otherwise.
+	setShift int
 
 	st unisonStats
 }
@@ -184,7 +192,7 @@ func New(cfg Config, stacked, offchip *dram.Controller) (*Unison, error) {
 	case 31:
 		n = 5
 	}
-	return &Unison{
+	d := &Unison{
 		cfg:        cfg,
 		stacked:    stacked,
 		offchip:    offchip,
@@ -197,7 +205,13 @@ func New(cfg Config, stacked, offchip *dram.Controller) (*Unison, error) {
 		setsPerRow: setsPerRow,
 		rowsPerSet: rowsPerSet,
 		tagBytes:   cfg.Ways * 8,
-	}, nil
+		setShift:   -1,
+	}
+	d.tagBurstCPU = stacked.Config().BurstCPU(d.tagBytes)
+	if rowsPerSet == 1 && setsPerRow&(setsPerRow-1) == 0 {
+		d.setShift = bits.TrailingZeros64(setsPerRow)
+	}
+	return d, nil
 }
 
 // Name implements dramcache.Design.
@@ -227,9 +241,12 @@ func (d *Unison) PageOf(a mem.Addr) (page uint64, off int) {
 // rowOf maps a set index to its stacked-DRAM row location.
 func (d *Unison) rowOf(set uint64) (ch, bank int, row uint64) {
 	var linear uint64
-	if d.rowsPerSet > 1 {
+	switch {
+	case d.setShift >= 0:
+		linear = set >> d.setShift
+	case d.rowsPerSet > 1:
 		linear = set * d.rowsPerSet
-	} else {
+	default:
 		linear = set / d.setsPerRow
 	}
 	return d.stacked.MapAddr(linear * mem.RowBytes)
@@ -264,7 +281,7 @@ func (d *Unison) Access(r dramcache.Request) dramcache.Response {
 	lookup := d.stacked.Do(dram.Request{Channel: ch, Bank: bank, Row: row, Bytes: d.lookupBytes(), At: r.At})
 	// The tags arrive at the head of the burst; a miss (or wrong way) is
 	// known once the metadata bursts have arrived.
-	tagKnown := lookup.DataAt + d.stacked.Config().BurstCPU(d.tagBytes)
+	tagKnown := lookup.DataAt + d.tagBurstCPU
 	dataReady := lookup.Done
 	if d.cfg.SerializeTagData {
 		// Ablation: Loh-Hill-style serialization — data read issues only

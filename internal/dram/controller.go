@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Stats aggregates the controller's activity counters. Activations are the
 // energy proxy the paper's §V-D discussion uses.
@@ -60,7 +63,26 @@ type Controller struct {
 	// Pre-converted CPU-cycle versions of the timing parameters.
 	tCAS, tRCD, tRP, tRAS, tRC, tWR, tWTR, tRTP, tRRD, tFAW uint64
 
+	// Address-mapping and burst fast paths. Every Table III organization
+	// is power-of-two shaped, which turns the per-request divisions of
+	// MapAddr and BurstCPU into shifts and a small table lookup; the slow
+	// path keeps odd organizations working and the results are identical
+	// by construction.
+	rowShift, chanShift, bankShift uint
+	chanMask, bankMask             uint64
+	mapShifts                      bool
+	perShift                       int // log2(2*BusBytes), -1 when not a power of two
+	toCPUTab                       []uint64
+
 	stats Stats
+}
+
+// log2of returns (log2(v), true) when v is a positive power of two.
+func log2of(v int) (uint, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return uint(bits.TrailingZeros64(uint64(v))), true
 }
 
 // NewController builds a controller for the given configuration.
@@ -88,7 +110,47 @@ func NewController(cfg Config) (*Controller, error) {
 	c.tRTP = cfg.ToCPU(t.RTP)
 	c.tRRD = cfg.ToCPU(t.RRD)
 	c.tFAW = cfg.ToCPU(t.FAW)
+
+	rowS, rowOK := log2of(cfg.Org.RowBytes)
+	chS, chOK := log2of(cfg.Org.Channels)
+	bkS, bkOK := log2of(cfg.Org.Ranks * cfg.Org.Banks)
+	if rowOK && chOK && bkOK {
+		c.rowShift, c.chanShift, c.bankShift = rowS, chS, bkS
+		c.chanMask = uint64(cfg.Org.Channels) - 1
+		c.bankMask = uint64(cfg.Org.Ranks*cfg.Org.Banks) - 1
+		c.mapShifts = true
+	}
+	c.perShift = -1
+	if s, ok := log2of(2 * cfg.Org.BusBytes); ok {
+		c.perShift = int(s)
+	}
+	// Memoize the DRAM-to-CPU clock conversion for every burst length up
+	// to a full row (the largest transfer any design issues).
+	maxClocks := (cfg.Org.RowBytes+2*cfg.Org.BusBytes-1)/(2*cfg.Org.BusBytes) + 1
+	c.toCPUTab = make([]uint64, maxClocks+1)
+	for i := range c.toCPUTab {
+		c.toCPUTab[i] = cfg.ToCPU(i)
+	}
 	return c, nil
+}
+
+// burstCPU is the controller-side BurstCPU: identical results, with the
+// division replaced by a shift and a table lookup on the hot path.
+func (c *Controller) burstCPU(bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	var clocks int
+	if c.perShift >= 0 {
+		clocks = (bytes + 1<<c.perShift - 1) >> c.perShift
+	} else {
+		per := 2 * c.cfg.Org.BusBytes
+		clocks = (bytes + per - 1) / per
+	}
+	if clocks < len(c.toCPUTab) {
+		return c.toCPUTab[clocks]
+	}
+	return c.cfg.ToCPU(clocks)
 }
 
 // Config returns the controller's configuration.
@@ -166,7 +228,7 @@ func (c *Controller) Do(r Request) Result {
 	}
 
 	// Column command: wait for the bank and for the shared data bus.
-	burst := c.cfg.BurstCPU(r.Bytes)
+	burst := c.burstCPU(r.Bytes)
 	colAt := maxU(now, bk.readyAt)
 
 	var res Result
@@ -204,6 +266,14 @@ func (c *Controller) Do(r Request) Result {
 // interleaving across channels then banks, the layout that maximizes
 // bank-level parallelism for the streaming fills the caches perform.
 func (c *Controller) MapAddr(addr uint64) (channel, bankIdx int, row uint64) {
+	if c.mapShifts {
+		r := addr >> c.rowShift
+		channel = int(r & c.chanMask)
+		r >>= c.chanShift
+		bankIdx = int(r & c.bankMask)
+		row = r >> c.bankShift
+		return channel, bankIdx, row
+	}
 	totalBanks := uint64(c.cfg.Org.Ranks * c.cfg.Org.Banks)
 	r := addr / uint64(c.cfg.Org.RowBytes)
 	channel = int(r % uint64(c.cfg.Org.Channels))

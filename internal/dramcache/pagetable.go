@@ -37,10 +37,13 @@ type PageState struct {
 // replacement, shared by the page-based designs. Sets need not be a power
 // of two (Unison Cache's non-power-of-two geometry).
 type PageTable struct {
-	sets  uint64
-	ways  int
-	pages []PageState
-	lru   []uint8
+	sets uint64
+	ways int
+	// setMask is sets-1 when sets is a power of two (the common scaled
+	// configuration), letting SetOf skip the modulo; ^0 otherwise.
+	setMask uint64
+	pages   []PageState
+	lru     []uint8
 }
 
 // NewPageTable allocates a table of sets x ways pages.
@@ -49,10 +52,14 @@ func NewPageTable(sets uint64, ways int) (*PageTable, error) {
 		return nil, fmt.Errorf("dramcache: page table needs sets>0, 0<ways<=255; got %d x %d", sets, ways)
 	}
 	t := &PageTable{
-		sets:  sets,
-		ways:  ways,
-		pages: make([]PageState, sets*uint64(ways)),
-		lru:   make([]uint8, sets*uint64(ways)),
+		sets:    sets,
+		ways:    ways,
+		setMask: ^uint64(0),
+		pages:   make([]PageState, sets*uint64(ways)),
+		lru:     make([]uint8, sets*uint64(ways)),
+	}
+	if sets&(sets-1) == 0 {
+		t.setMask = sets - 1
 	}
 	for s := uint64(0); s < sets; s++ {
 		for w := 0; w < ways; w++ {
@@ -69,7 +76,12 @@ func (t *PageTable) Sets() uint64 { return t.sets }
 func (t *PageTable) Ways() int { return t.ways }
 
 // SetOf maps a page number to its set index.
-func (t *PageTable) SetOf(page uint64) uint64 { return page % t.sets }
+func (t *PageTable) SetOf(page uint64) uint64 {
+	if t.setMask != ^uint64(0) {
+		return page & t.setMask
+	}
+	return page % t.sets
+}
 
 // Lookup finds the way holding page within set, if any.
 func (t *PageTable) Lookup(set, page uint64) (way int, ok bool) {

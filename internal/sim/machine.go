@@ -66,7 +66,34 @@ type Machine struct {
 	design  dramcache.Design
 	stacked *dram.Controller
 	offchip *dram.Controller
+
+	// remaining is replay's per-core event budget, kept on the machine so
+	// the steady-state loop allocates nothing.
+	remaining []int
+	// clocks mirrors cores[i].clock in one compact array (padded to the
+	// tournament's leaf count with +inf sentinels): the scheduler consults
+	// it once per event, and striding across the fat coreState structs
+	// would touch one cache line per core where two lines hold all
+	// sixteen clocks.
+	clocks []uint64
+	// tree is a tournament (winner) tree over the padded clock array:
+	// tree[leaves+i] = i are the implicit leaves, tree[1..leaves-1] hold
+	// the winning core index of each match, tree[1] the next core to step.
+	// Matches prefer the left child on ties, so the root is always the
+	// lowest-index core holding the minimum clock — the same core a
+	// linear rescan with lowest-index tie-breaking would pick, at a cost
+	// of log2(cores) node updates per step instead of a full scan.
+	tree   []int32
+	leaves int
 }
+
+// eventBatch is the per-core prefetch depth: how many events a core pulls
+// from its source per NextBatch call. Prefetching is legal because
+// min-clock-first scheduling only interleaves cores — it never reorders
+// events within a core, and each core's source generates its stream
+// independently of the other cores' progress (DESIGN.md §8). 256 events
+// (7 KB per core) amortizes the interface call without thrashing L1d.
+const eventBatch = 256
 
 type coreState struct {
 	clock  uint64
@@ -75,10 +102,42 @@ type coreState struct {
 	latSum uint64
 	latN   uint64
 	l1     *cache.Cache
-	src    trace.Source
+	src    trace.Batcher
+
+	// buf is the reusable prefetch slab: buf[pos:n] holds events pulled
+	// from src but not yet executed. Unconsumed events survive the
+	// warmup/measurement boundary — only execution order matters, and that
+	// is unchanged.
+	buf []trace.Event
+	pos int
+	n   int
 
 	// Measurement checkpoint (set when warmup ends).
 	clock0, instr0 uint64
+}
+
+// nextEvent returns the core's next event, refilling the prefetch slab
+// when it empties. Refills never request more than budget events — the
+// core's remaining demand in the current replay phase — so a finite
+// source sized exactly to the run is never over-pulled, the same contract
+// the pre-batching per-event machine honored. The pointer aims into the
+// slab and is valid until the next call — the hot loop reads a couple of
+// fields and moves on, so no copy is needed.
+func (c *coreState) nextEvent(budget int) *trace.Event {
+	if c.pos >= c.n {
+		want := eventBatch
+		if budget < want {
+			want = budget
+		}
+		c.n = c.src.NextBatch(c.buf[:want])
+		c.pos = 0
+		if c.n == 0 {
+			panic("sim: event source drained past its recorded length")
+		}
+	}
+	ev := &c.buf[c.pos]
+	c.pos++
+	return ev
 }
 
 // New builds a machine over one event source per core — live synthetic
@@ -104,6 +163,13 @@ func New(cfg Config, sources []trace.Source, design dramcache.Design, stacked, o
 	}
 	m := &Machine{cfg: cfg, l2: l2, design: design, stacked: stacked, offchip: offchip}
 	m.cores = make([]coreState, cfg.Cores)
+	m.remaining = make([]int, cfg.Cores)
+	m.leaves = 1
+	for m.leaves < cfg.Cores {
+		m.leaves *= 2
+	}
+	m.clocks = make([]uint64, m.leaves)
+	m.tree = make([]int32, 2*m.leaves)
 	for i := range m.cores {
 		if sources[i] == nil {
 			return nil, fmt.Errorf("sim: nil source for core %d", i)
@@ -112,7 +178,11 @@ func New(cfg Config, sources []trace.Source, design dramcache.Design, stacked, o
 		if err != nil {
 			return nil, err
 		}
-		m.cores[i] = coreState{l1: l1, src: sources[i]}
+		m.cores[i] = coreState{
+			l1:  l1,
+			src: trace.AsBatcher(sources[i]),
+			buf: make([]trace.Event, eventBatch),
+		}
 	}
 	return m, nil
 }
@@ -156,40 +226,76 @@ func (m *Machine) Run(accessesPerCore int) Results {
 	return m.collect()
 }
 
-// replay advances cores lowest-clock-first for eventsPerCore events each.
+// replay advances cores lowest-clock-first for eventsPerCore events each:
+// the next core to step is always the live core with the smallest clock,
+// ties broken toward the lowest index. The tournament tree executes
+// *exactly* that schedule — bit-identical to a linear rescan before every
+// step, which the golden determinism wall enforces — at log2(cores) node
+// updates per event. Exhausted cores (and the leaves padding the core
+// count to a power of two) sit at the +inf sentinel, which no real clock
+// reaches, so they simply never win a match.
 func (m *Machine) replay(eventsPerCore int) {
 	if eventsPerCore <= 0 {
 		return
 	}
-	remaining := make([]int, len(m.cores))
+	remaining := m.remaining
 	for i := range remaining {
 		remaining[i] = eventsPerCore
 	}
+	clocks := m.clocks
+	for i := range clocks {
+		if i < len(m.cores) {
+			clocks[i] = m.cores[i].clock
+		} else {
+			clocks[i] = ^uint64(0)
+		}
+	}
+	tree := m.tree
+	for i := 0; i < m.leaves; i++ {
+		tree[m.leaves+i] = int32(i)
+	}
+	for n := m.leaves - 1; n >= 1; n-- {
+		tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
+	}
 	live := len(m.cores)
 	for live > 0 {
-		// Pick the live core with the smallest clock; with 16 cores a
-		// linear scan beats any heap.
-		best := -1
-		for i := range m.cores {
-			if remaining[i] == 0 {
-				continue
-			}
-			if best < 0 || m.cores[i].clock < m.cores[best].clock {
-				best = i
-			}
-		}
-		m.step(best)
-		remaining[best]--
-		if remaining[best] == 0 {
+		best := int(tree[1])
+		m.step(best, remaining[best])
+		if remaining[best]--; remaining[best] == 0 {
+			clocks[best] = ^uint64(0)
 			live--
+		} else {
+			clocks[best] = m.cores[best].clock
+		}
+		// Replay best's matches up the tree.
+		for n := (m.leaves + best) >> 1; n >= 1; n >>= 1 {
+			tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
 		}
 	}
 }
 
-// step executes one trace event on core i.
-func (m *Machine) step(i int) {
+// matchWinner plays one tournament match. The left child always covers
+// lower core indices, so preferring it on ties keeps the lowest-index-wins
+// rule of the linear scan.
+func matchWinner(clocks []uint64, l, r int32) int32 {
+	if clocks[r] < clocks[l] {
+		return r
+	}
+	return l
+}
+
+// Replay advances every core by eventsPerCore events without touching the
+// warmup/measurement bookkeeping. It exists for benchmarking and allocation
+// tests that need to drive the steady-state hot loop directly; simulations
+// use Run.
+func (m *Machine) Replay(eventsPerCore int) { m.replay(eventsPerCore) }
+
+// step executes one trace event on core i; budget is the core's remaining
+// event demand in this replay phase (bounding how far ahead the prefetch
+// may pull).
+func (m *Machine) step(i, budget int) {
 	c := &m.cores[i]
-	ev := c.src.Next()
+	ev := c.nextEvent(budget)
 	c.clock += uint64(ev.Gap)
 	c.instr += uint64(ev.Gap) + 1
 

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// plainSource hides a Stream's NextBatch so AsBatcher must fall back to the
+// generic adapter.
+type plainSource struct{ s *Stream }
+
+func (p plainSource) Next() Event { return p.s.Next() }
+
+// TestStreamNextBatchMatchesNext pulls the same stream twice — once event
+// by event, once in ragged batches — and requires identical sequences: a
+// batch is defined as exactly the events the same number of Next calls
+// would return.
+func TestStreamNextBatchMatchesNext(t *testing.T) {
+	prof := Profiles()["web-serving"]
+	ref, err := NewStream(prof, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewStream(prof, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20_000
+	want := make([]Event, total)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+	// Ragged batch sizes exercise mid-visit splits, single-event batches
+	// and batches larger than any one visit.
+	sizes := []int{1, 3, 256, 7, 1024, 2, 64}
+	got := make([]Event, 0, total)
+	buf := make([]Event, 1024)
+	for si := 0; len(got) < total; si++ {
+		n := sizes[si%len(sizes)]
+		if n > total-len(got) {
+			n = total - len(got)
+		}
+		if m := batched.NextBatch(buf[:n]); m != n {
+			t.Fatalf("NextBatch(%d) on an unbounded source returned %d", n, m)
+		}
+		got = append(got, buf[:n]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: batch %+v != next %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamBatchNextInterleave mixes Next and NextBatch on one stream and
+// checks the combined sequence against a Next-only reference.
+func TestStreamBatchNextInterleave(t *testing.T) {
+	prof := Profiles()["data-analytics"]
+	ref, _ := NewStream(prof, 11, 0)
+	mixed, _ := NewStream(prof, 11, 0)
+	buf := make([]Event, 37)
+	var got []Event
+	for len(got) < 5000 {
+		got = append(got, mixed.Next())
+		n := mixed.NextBatch(buf)
+		got = append(got, buf[:n]...)
+	}
+	for i := range got {
+		if want := ref.Next(); got[i] != want {
+			t.Fatalf("event %d: interleaved %+v != reference %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestAsBatcherAdapter checks both faces of AsBatcher: a Batcher passes
+// through unwrapped, and a plain Source gets an adapter whose batches
+// match Next exactly.
+func TestAsBatcherAdapter(t *testing.T) {
+	prof := Profiles()["web-search"]
+	s, _ := NewStream(prof, 3, 1)
+	if b := AsBatcher(s); b != Batcher(s) {
+		t.Errorf("AsBatcher(*Stream) wrapped a native Batcher")
+	}
+
+	ref, _ := NewStream(prof, 5, 2)
+	plain, _ := NewStream(prof, 5, 2)
+	b := AsBatcher(plainSource{plain})
+	buf := make([]Event, 100)
+	for pulled := 0; pulled < 3000; pulled += len(buf) {
+		if n := b.NextBatch(buf); n != len(buf) {
+			t.Fatalf("adapter NextBatch returned %d, want %d", n, len(buf))
+		}
+		for i, ev := range buf {
+			if want := ref.Next(); ev != want {
+				t.Fatalf("event %d: adapter %+v != reference %+v", pulled+i, ev, want)
+			}
+		}
+	}
+}
+
+// TestReplaySourceNextBatch round-trips a capture and drains one replay
+// with Next and another with ragged NextBatch calls: same events, and the
+// batched source reports the drain with short counts instead of panicking.
+func TestReplaySourceNextBatch(t *testing.T) {
+	const cores, events = 2, 5000
+	h := FileHeader{Profile: "web-serving", Seed: 9, ScaleDivisor: 64, Cores: cores, EventsPerCore: events}
+	prof := *Profiles()["web-serving"]
+	prof.WorkingSetBytes /= 64
+	record := make([]Source, cores)
+	for i := range record {
+		s, err := NewStream(&prof, h.Seed, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record[i] = s
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, record); err != nil {
+		t.Fatal(err)
+	}
+	_, byNext, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, byBatch, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]Event, 513)
+	for c := 0; c < cores; c++ {
+		var got []Event
+		for {
+			n := byBatch[c].NextBatch(slab)
+			got = append(got, slab[:n]...)
+			if n < len(slab) {
+				break
+			}
+		}
+		if len(got) != events {
+			t.Fatalf("core %d: batched replay yielded %d events, want %d", c, len(got), events)
+		}
+		for i, ev := range got {
+			if want := byNext[c].Next(); ev != want {
+				t.Fatalf("core %d event %d: batch %+v != next %+v", c, i, ev, want)
+			}
+		}
+		if n := byBatch[c].NextBatch(slab); n != 0 {
+			t.Errorf("core %d: drained source returned %d events", c, n)
+		}
+		if byBatch[c].Remaining() != 0 {
+			t.Errorf("core %d: %d events remaining after drain", c, byBatch[c].Remaining())
+		}
+	}
+}
+
+// TestGeometricDenomMatchesGeometric locks the cached-denominator sampler
+// to RNG.Geometric bit for bit: same RNG consumption, same values — the
+// contract that lets the stream hoist the constant log1p term.
+func TestGeometricDenomMatchesGeometric(t *testing.T) {
+	for _, mean := range []float64{-1, 0, 0.3, 0.8, 6, 44, 80} {
+		a, b := NewRNG(123), NewRNG(123)
+		denom := geomDenom(mean)
+		for i := 0; i < 10_000; i++ {
+			want := a.Geometric(mean)
+			got := b.geometricDenom(denom)
+			if got != want {
+				t.Fatalf("mean %v sample %d: geometricDenom %d != Geometric %d", mean, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("mean %v: RNG states diverged", mean)
+		}
+	}
+}
+
+// BenchmarkStreamNextBatch measures the batched generation hot path the
+// simulator actually drives.
+func BenchmarkStreamNextBatch(b *testing.B) {
+	s, err := NewStream(Profiles()["data-serving"], 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Event, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NextBatch(buf)
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -215,6 +215,27 @@ func (s *ReplaySource) Next() Event {
 	return ev
 }
 
+// NextBatch implements Batcher: it decodes up to len(dst) events straight
+// into the caller's slab, returning fewer — eventually 0 — once the
+// recorded section drains. Unlike Next, draining is not an error: batching
+// callers observe the short count instead of a panic.
+func (s *ReplaySource) NextBatch(dst []Event) int {
+	n := len(dst)
+	if n > s.remaining {
+		n = s.remaining
+	}
+	for i := 0; i < n; i++ {
+		ev, err := s.next()
+		if err != nil {
+			// ReadTrace verified the section; only corruption of the
+			// backing array after construction could land here.
+			panic("trace: replay: " + err.Error())
+		}
+		dst[i] = ev
+	}
+	return n
+}
+
 // next decodes one event, reporting truncation or corruption.
 func (s *ReplaySource) next() (Event, error) {
 	if s.remaining <= 0 {

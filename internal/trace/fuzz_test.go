@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// validCapture builds a small well-formed .utrace capture to seed the
+// fuzzer with structure-aware inputs.
+func validCapture(tb testing.TB, cores, events int) []byte {
+	tb.Helper()
+	prof := *Profiles()["web-serving"]
+	prof.WorkingSetBytes /= 1024
+	sources := make([]Source, cores)
+	for i := range sources {
+		s, err := NewStream(&prof, 3, i)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sources[i] = s
+	}
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, FileHeader{
+		Profile: "web-serving", Seed: 3, ScaleDivisor: 1024,
+		Cores: cores, EventsPerCore: events,
+	}, sources)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTrace feeds arbitrary bytes to the .utrace parser. Whatever the
+// input — truncated, bit-flipped, or hostile header fields — ReadTrace
+// must either succeed on a self-consistent capture or return an error; it
+// must never panic, and it must never trust unvalidated header counts
+// (the FileMaxCores bound is what keeps a 4-byte header from demanding a
+// multi-gigabyte source slice). Successful parses must replay exactly the
+// advertised number of events per core.
+func FuzzReadTrace(f *testing.F) {
+	valid := validCapture(f, 2, 50)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // truncated mid-section
+	f.Add(valid[:5])                      // truncated header
+	f.Add([]byte("UTRC"))                 // magic only
+	f.Add([]byte("XXXX junk"))            // wrong magic
+	f.Add(append([]byte{}, valid[4:]...)) // missing magic
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, sources, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h.Cores != len(sources) {
+			t.Fatalf("header says %d cores, got %d sources", h.Cores, len(sources))
+		}
+		// A capture that parsed must replay to exactly its advertised
+		// length, by Next and by batch.
+		slab := make([]Event, 64)
+		for c, src := range sources {
+			if src.Remaining() != h.EventsPerCore {
+				t.Fatalf("core %d: %d events remaining, header says %d", c, src.Remaining(), h.EventsPerCore)
+			}
+			total := 0
+			for {
+				n := src.NextBatch(slab)
+				total += n
+				if n < len(slab) {
+					break
+				}
+			}
+			if total != h.EventsPerCore {
+				t.Fatalf("core %d: replayed %d events, header says %d", c, total, h.EventsPerCore)
+			}
+		}
+	})
+}
+
+// FuzzStreamNextBatch cross-checks batch pulls of arbitrary sizes against
+// event-by-event pulls of the generator.
+func FuzzStreamNextBatch(f *testing.F) {
+	f.Add(uint64(1), 7)
+	f.Add(uint64(99), 256)
+	f.Fuzz(func(t *testing.T, seed uint64, batch int) {
+		if batch <= 0 || batch > 4096 {
+			return
+		}
+		prof := Profiles()["data-analytics"]
+		a, err := NewStream(prof, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewStream(prof, seed, 0)
+		buf := make([]Event, batch)
+		for pulled := 0; pulled < 2000; pulled += batch {
+			if n := a.NextBatch(buf); n != batch {
+				t.Fatalf("NextBatch(%d) = %d on an unbounded stream", batch, n)
+			}
+			for i, ev := range buf {
+				if want := b.Next(); ev != want {
+					t.Fatalf("event %d: batch %+v != next %+v", pulled+i, ev, want)
+				}
+			}
+		}
+	})
+}

@@ -60,13 +60,32 @@ func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
 // Geometric returns a sample with the given mean from a geometric
 // distribution over {0, 1, 2, ...}; mean <= 0 returns 0.
 func (r *RNG) Geometric(mean float64) int {
+	return r.geometricDenom(geomDenom(mean))
+}
+
+// geomDenom precomputes the denominator of Geometric's inverse CDF for a
+// fixed mean: log1p(-p) with p = 1/(mean+1). It returns 0 (a value no
+// positive mean produces) as the mean-<=-0 sentinel. Hot paths that sample
+// the same distribution millions of times (the stream generator) cache this
+// and call geometricDenom, halving the transcendental work per sample while
+// producing bit-identical values.
+func geomDenom(mean float64) float64 {
 	if mean <= 0 {
 		return 0
 	}
-	p := 1 / (mean + 1)
+	return math.Log1p(-(1 / (mean + 1)))
+}
+
+// geometricDenom samples the geometric distribution whose precomputed
+// geomDenom is denom. A zero denom (mean <= 0) returns 0 without consuming
+// randomness, matching Geometric exactly.
+func (r *RNG) geometricDenom(denom float64) int {
+	if denom == 0 {
+		return 0
+	}
 	u := r.Float64()
 	// Inverse CDF of the geometric distribution on {0,1,...}.
-	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+	return int(math.Floor(math.Log1p(-u) / denom))
 }
 
 // Zipf samples ranks in [0, N) under a Zipf-like power law with exponent

@@ -15,7 +15,51 @@ type Source interface {
 	Next() Event
 }
 
+// Batcher is the bulk-pull face of a Source: the simulator's hot loop
+// prefetches each core's events into a reusable caller-provided slab,
+// paying one dynamic dispatch per batch instead of one per event.
+//
+// NextBatch and Next consume the same underlying stream, so interleaving
+// them is legal: a batch is exactly the events the same number of Next
+// calls would have returned. A source's events must not depend on *when*
+// they are pulled — each core's stream is generated independently — which
+// is what makes prefetching invisible to the min-clock-first scheduler
+// (see DESIGN.md §8).
+type Batcher interface {
+	Source
+	// NextBatch fills dst with the stream's next events and returns how
+	// many were produced: len(dst) for unbounded sources, possibly fewer
+	// (eventually 0) for finite ones that have drained. It never retains
+	// dst.
+	NextBatch(dst []Event) int
+}
+
+// AsBatcher returns src's batching face: src itself when it already
+// implements Batcher, otherwise an adapter whose NextBatch loops Next. The
+// adapter inherits Next's drained behaviour — a finite source that panics
+// when over-pulled still panics mid-batch — so callers bound their demand
+// exactly as they would with Next.
+func AsBatcher(src Source) Batcher {
+	if b, ok := src.(Batcher); ok {
+		return b
+	}
+	return sourceBatcher{src}
+}
+
+// sourceBatcher adapts a plain Source to the Batcher interface.
+type sourceBatcher struct {
+	Source
+}
+
+func (s sourceBatcher) NextBatch(dst []Event) int {
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+	return len(dst)
+}
+
 var (
-	_ Source = (*Stream)(nil)
-	_ Source = (*ReplaySource)(nil)
+	_ Batcher = (*Stream)(nil)
+	_ Batcher = (*ReplaySource)(nil)
+	_ Batcher = sourceBatcher{}
 )

@@ -28,10 +28,21 @@ type Stream struct {
 	zipfPC *Zipf
 	perm   *Perm
 
+	// Precomputed geometric-distribution denominators (see RNG.Geometric):
+	// the log1p(-p) term depends only on the profile, so hoisting it out of
+	// the per-event sampling path removes one of the two transcendental
+	// calls per sample without changing a single emitted bit.
+	gapDenom, repeatDenom float64
+
 	// Current visit replay state.
 	pending []Event
 	next    int
 }
+
+// pendingCap presizes the visit buffer past the largest plausible visit
+// (a full 8-region scan with geometric repeats) so steady-state generation
+// never grows it.
+const pendingCap = 1024
 
 // NewStream builds the access stream for one core. All cores of a run share
 // baseSeed (the region permutation key) and differ by core index.
@@ -40,11 +51,14 @@ func NewStream(p *Profile, baseSeed uint64, core int) (*Stream, error) {
 		return nil, err
 	}
 	return &Stream{
-		prof:   p,
-		rng:    NewRNG(baseSeed*0x9e3779b97f4a7c15 + uint64(core)*0x100000001b3 + 1),
-		zipfR:  NewZipf(p.Regions(), p.ZipfTheta),
-		zipfPC: NewZipf(uint64(p.PCs), p.PCZipfTheta),
-		perm:   NewPerm(p.Regions(), baseSeed),
+		prof:        p,
+		rng:         NewRNG(baseSeed*0x9e3779b97f4a7c15 + uint64(core)*0x100000001b3 + 1),
+		zipfR:       NewZipf(p.Regions(), p.ZipfTheta),
+		zipfPC:      NewZipf(uint64(p.PCs), p.PCZipfTheta),
+		perm:        NewPerm(p.Regions(), baseSeed),
+		gapDenom:    geomDenom(p.GapMean),
+		repeatDenom: geomDenom(p.RepeatMean),
+		pending:     make([]Event, 0, pendingCap),
 	}, nil
 }
 
@@ -207,6 +221,22 @@ func (s *Stream) Next() Event {
 	return ev
 }
 
+// NextBatch implements Batcher: it fills dst with the same events the same
+// number of Next calls would return, copying whole visits at a time.
+func (s *Stream) NextBatch(dst []Event) int {
+	n := 0
+	for n < len(dst) {
+		if s.next >= len(s.pending) {
+			s.generateVisit()
+			continue
+		}
+		c := copy(dst[n:], s.pending[s.next:])
+		n += c
+		s.next += c
+	}
+	return n
+}
+
 // generateVisit materializes one visit: pick a function, then either sweep
 // several physically consecutive regions (scan workloads) or touch one
 // region with the function's pattern, emitting accesses in ascending order
@@ -253,10 +283,10 @@ func (s *Stream) generateVisit() {
 			continue
 		}
 		addr := mem.BlockAddr(regionBase + uint64(b))
-		repeats := 1 + s.rng.Geometric(s.prof.RepeatMean)
+		repeats := 1 + s.rng.geometricDenom(s.repeatDenom)
 		for rep := 0; rep < repeats; rep++ {
 			s.pending = append(s.pending, Event{
-				Gap:   uint32(s.rng.Geometric(s.prof.GapMean)),
+				Gap:   uint32(s.rng.geometricDenom(s.gapDenom)),
 				Addr:  addr,
 				PC:    pc,
 				Write: s.rng.Bernoulli(s.prof.WriteFrac),
@@ -327,10 +357,10 @@ func (s *Stream) emitRange(region uint64, lo, hi int, pc uint64) {
 	regionBase := region * RegionBlocks
 	for b := lo; b < hi; b++ {
 		addr := mem.BlockAddr(regionBase + uint64(b))
-		repeats := 1 + s.rng.Geometric(s.prof.RepeatMean)
+		repeats := 1 + s.rng.geometricDenom(s.repeatDenom)
 		for rep := 0; rep < repeats; rep++ {
 			s.pending = append(s.pending, Event{
-				Gap:   uint32(s.rng.Geometric(s.prof.GapMean)),
+				Gap:   uint32(s.rng.geometricDenom(s.gapDenom)),
 				Addr:  addr,
 				PC:    pc,
 				Write: s.rng.Bernoulli(s.prof.WriteFrac),

@@ -142,18 +142,21 @@ func (r Run) withDefaults() Run {
 		r.FCWays = 32
 	}
 	if r.ScaleDivisor == 0 || r.ScaleDivisor == -1 {
-		r.ScaleDivisor = autoScale(r.Capacity)
+		r.ScaleDivisor = AutoScaleDivisor(r.Capacity)
 	}
 	return r
 }
 
-// autoScale picks the divisor that maps the labeled capacity to at most a
-// 32 MB simulated cache, with a floor of 16 so even the smallest design
-// point stays proportionally scaled. The 32 MB cap is what lets a run
-// cycle the cache's full capacity several times within a few hundred
-// thousand accesses per core — the predictor-training steady state the
-// paper reaches with 30-billion-instruction traces.
-func autoScale(capacity uint64) int {
+// AutoScaleDivisor returns the proportional-scaling divisor a Run with
+// this labeled capacity gets by default (ScaleDivisor 0 or -1): the
+// divisor that maps the capacity to at most a 32 MB simulated cache, with
+// a floor of 16 so even the smallest design point stays proportionally
+// scaled. The 32 MB cap is what lets a run cycle the cache's full
+// capacity several times within a few hundred thousand accesses per core
+// — the predictor-training steady state the paper reaches with
+// 30-billion-instruction traces. Exported so out-of-band tooling (the
+// bench harness) can reproduce the exact cell a defaulted Run simulates.
+func AutoScaleDivisor(capacity uint64) int {
 	d := 16
 	for capacity/uint64(d) > 32<<20 {
 		d *= 2
