@@ -118,6 +118,48 @@ func main() {
 			name, float64(br.NsPerOp()), events/float64(br.NsPerOp())*1e3, br.AllocsPerOp(), res.UIPC/base.UIPC)
 	}
 
+	// Fig7Sampled: the same unison cell under SMARTS-style sampled
+	// simulation. Wall-clock parity with Fig7Performance/unison is the
+	// expectation — this engine's functional phases run the full timing
+	// model, so sampling buys error bars and detailed-event reduction,
+	// not raw speed (DESIGN.md §9) — and the datapoint pins both the
+	// bookkeeping overhead (ns_per_op vs the full cell) and the sampling
+	// payoff (detailed_reduction, rel_ci).
+	{
+		sampledRun := uc.Run{Workload: "data-serving", Design: uc.DesignUnison,
+			Capacity: 1 << 30, AccessesPerCore: accesses,
+			Sampling: uc.SampleSpec{IntervalEvents: 500, GapEvents: 1500, MinIntervals: 4}}
+		var res uc.Result
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = uc.Execute(sampledRun)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ci := res.CI
+		events := float64(ci.SimulatedEvents)
+		rec.Benchmarks["Fig7Sampled/unison"] = Measurement{
+			NsPerOp:      float64(br.NsPerOp()),
+			AllocsPerOp:  br.AllocsPerOp(),
+			BytesPerOp:   br.AllocedBytesPerOp(),
+			EventsPerSec: events / float64(br.NsPerOp()) * 1e9,
+			Metrics: map[string]float64{
+				"speedup":            res.UIPC / base.UIPC,
+				"uipc":               res.UIPC,
+				"rel_ci":             ci.RelHalfWidth(),
+				"windows":            float64(ci.Intervals()),
+				"detailed_reduction": float64(ci.FullRunEvents) / float64(ci.DetailedEvents),
+			},
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  %.1fx fewer detailed, ±%.1f%% CI\n",
+			"Fig7Sampled/unison", float64(br.NsPerOp()), events/float64(br.NsPerOp())*1e3, br.AllocsPerOp(),
+			float64(ci.FullRunEvents)/float64(ci.DetailedEvents), 100*ci.RelHalfWidth())
+	}
+
 	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on
 	// every core; setup happens before the timer starts.
 	const steadyBatch = 5_000

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
+//	experiments -list                  # print the experiment index
 //	experiments -exp fig6              # one experiment, full length
 //	experiments -exp all -quick        # everything, shortened runs
 //	experiments -exp table5 -workloads web-search,tpch
+//	experiments -exp fig7 -quick -sample -confidence 0.95
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +31,12 @@ type options struct {
 	workloads []string
 	outDir    string
 	jobs      int
+	// sample, when enabled, switches the speedup figures (fig7, fig8) to
+	// SMARTS-style sampled simulation: SweepSampled plans, CI columns
+	// appended to the CSVs, and a detailed-event accounting line. Every
+	// other experiment — including the speedup-reporting ablations —
+	// ignores it and runs full-length.
+	sample uc.SampleSpec
 }
 
 // plan wraps a point list with the sweep engine's execution policy: the
@@ -42,17 +51,70 @@ func (o options) run(workload string, design uc.DesignKind, capacity uint64) uc.
 		AccessesPerCore: o.accesses, Seed: o.seed}
 }
 
+// experiments is the index: every runnable experiment, its paper mapping,
+// and its runner, in canonical order.
+var experiments = []struct {
+	name  string
+	paper string
+	fn    func(options) error
+}{
+	{"table1", "Table I — qualitative comparison of AC / FC / UC (static)", table1},
+	{"table2", "Table II — key characteristics, computed from the implemented geometries", table2},
+	{"table4", "Table IV — Footprint Cache tag-array scaling", table4},
+	{"table5", "Table V — predictor accuracies (MP / FP / WP)", table5},
+	{"fig5", "Figure 5 — Unison miss ratio vs associativity (1/4/32 ways)", fig5},
+	{"fig6", "Figure 6 — miss ratio: Alloy vs Footprint vs Unison", fig6},
+	{"fig7", "Figure 7 — CloudSuite speedup over no-DRAM-cache baseline", fig7},
+	{"fig8", "Figure 8 — TPC-H speedup, 1-8 GB caches", fig8},
+	{"ablation-way", "§V-B — way prediction vs fetch-all and serialized tag-data", ablationWay},
+	{"ablation-singleton", "§III-A.4 — singleton bypass ablation", ablationSingleton},
+	{"energy", "§V-D — off-chip activations and dynamic DRAM energy per KI", energy},
+	{"priorart", "§II-A — Loh-Hill vs Alloy vs Unison lineage", priorArt},
+	{"conflict", "§III-A.5 — analytical page-vs-block conflict model", conflictModel},
+}
+
+// printIndex writes the experiment index (names + paper mapping).
+func printIndex(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(w, "  %-20s %s\n", e.name, e.paper)
+	}
+	fmt.Fprintf(w, "  %-20s run every experiment above, in order\n", "all")
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table4|table5|fig5|fig6|fig7|fig8|ablation-way|ablation-singleton|energy|priorart|conflict|all")
+	exp := flag.String("exp", "all", "experiment name (see -list), or all")
+	list := flag.Bool("list", false, "print the experiment index (names + paper mapping) and exit")
 	quick := flag.Bool("quick", false, "shortened runs (~5x faster, noisier)")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = default)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter")
 	out := flag.String("out", "results", "CSV output directory")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = one per CPU)")
+	sampleFlag := flag.Bool("sample", false, "sampled simulation for the speedup figures: CI-target sweeps, CI columns in fig7/fig8 CSVs")
+	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
+	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
 	flag.Parse()
 
+	if *list {
+		printIndex(os.Stdout)
+		return
+	}
+
 	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs}
+	if *sampleFlag || *sampleSpec != "" || *confidence != 0 {
+		opt.sample = uc.DefaultSampleSpec()
+		if *sampleSpec != "" {
+			spec, err := uc.ParseSampleSpec(*sampleSpec)
+			if err != nil {
+				fatal(err)
+			}
+			opt.sample = spec
+		}
+		if *confidence != 0 {
+			opt.sample.Confidence = *confidence
+		}
+	}
 	if opt.accesses == 0 {
 		opt.accesses = 400_000
 		if *quick {
@@ -79,38 +141,25 @@ func main() {
 		fatal(err)
 	}
 
-	runners := map[string]func(options) error{
-		"table1":             table1,
-		"table2":             table2,
-		"table4":             table4,
-		"table5":             table5,
-		"fig5":               fig5,
-		"fig6":               fig6,
-		"fig7":               fig7,
-		"fig8":               fig8,
-		"ablation-way":       ablationWay,
-		"ablation-singleton": ablationSingleton,
-		"energy":             energy,
-		"priorart":           priorArt,
-		"conflict":           conflictModel,
-	}
-	order := []string{"table1", "table2", "table4", "table5", "fig5", "fig6", "fig7", "fig8", "ablation-way", "ablation-singleton", "energy", "priorart", "conflict"}
-
 	if *exp == "all" {
-		for _, name := range order {
-			if err := runners[name](opt); err != nil {
+		for _, e := range experiments {
+			if err := e.fn(opt); err != nil {
 				fatal(err)
 			}
 		}
 		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	for _, e := range experiments {
+		if e.name == *exp {
+			if err := e.fn(opt); err != nil {
+				fatal(err)
+			}
+			return
+		}
 	}
-	if err := run(opt); err != nil {
-		fatal(err)
-	}
+	fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+	printIndex(os.Stderr)
+	os.Exit(1)
 }
 
 func fatal(err error) {
@@ -152,6 +201,53 @@ func writeCSV(opt options, name string, header []string, rows [][]string) error 
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// speedupResults executes a speedup plan, sampled (CI-target sweep) or
+// full, per the options.
+func (o options) speedupResults(points []uc.Run) ([]uc.SpeedupResult, error) {
+	if o.sample.Enabled() {
+		return uc.SweepSampled(o.plan(points), o.sample)
+	}
+	return uc.SpeedupMany(o.plan(points))
+}
+
+// sampleSummary prints the sampled sweep's event accounting — how many
+// detailed events the design runs measured versus what full runs would
+// have simulated — plus the spread of the speedup CIs.
+func sampleSummary(results []uc.SpeedupResult) {
+	if len(results) == 0 || results[0].Design.CI == nil {
+		return
+	}
+	var detailed, fullEvents uint64
+	var worst float64
+	within := 0
+	for _, r := range results {
+		d := r.Design.CI
+		detailed += d.DetailedEvents
+		fullEvents += d.FullRunEvents
+		if r.CI != nil {
+			if rel := r.CI.RelHalfWidth(); rel > worst {
+				worst = rel
+			}
+			target := r.Design.Run.Sampling.TargetRelCI
+			if target > 0 && r.CI.RelHalfWidth() <= target {
+				within++
+			}
+		}
+	}
+	conf := results[0].Design.CI.Confidence
+	fmt.Printf("sampling: %d detailed events vs %d full-run (%.1fx fewer); %d/%d speedup CIs within target, worst ±%.1f%% at %.0f%% confidence\n",
+		detailed, fullEvents, float64(fullEvents)/float64(detailed), within, len(results), 100*worst, 100*conf)
+}
+
+// ciCell renders a speedup with its half-width in sampled mode.
+func ciCell(sp float64, ci *uc.SpeedupCI) string {
+	if ci == nil {
+		return f2(sp)
+	}
+	return f2(sp) + "±" + f3(ci.HalfWidth)
+}
 
 // table1 prints the qualitative comparison (static, from §I Table I).
 func table1(opt options) error {
@@ -290,12 +386,22 @@ func fig6(opt options) error {
 
 // fig7 reproduces the CloudSuite performance comparison: speedup over the
 // no-DRAM-cache baseline for the four designs, plus the geometric mean.
+// With -sample the sweep runs as a CI-target plan and the CSV gains one
+// half-width column per design.
 func fig7(opt options) error {
 	fmt.Println("== Figure 7: speedup over no-DRAM-cache baseline ==")
+	sampled := opt.sample.Enabled()
 	header := []string{"workload", "size", "alloy", "footprint", "unison", "ideal"}
+	if sampled {
+		header = append(header, "alloy_ci", "footprint_ci", "unison_ci", "ideal_ci")
+	}
 	var rows [][]string
 	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
-	fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", "workload", "size", "alloy", "footpr", "unison", "ideal")
+	rowFmt := "%-18s %-8s %8s %8s %8s %8s\n"
+	if sampled {
+		rowFmt = "%-18s %-8s %12s %12s %12s %12s\n"
+	}
+	fmt.Printf(rowFmt, "workload", "size", "alloy", "footpr", "unison", "ideal")
 	geo := map[uc.DesignKind]map[uint64][]float64{}
 	for _, d := range designs {
 		geo[d] = map[uint64][]float64{}
@@ -311,19 +417,29 @@ func fig7(opt options) error {
 			Designs:    designs,
 		}.Points()
 	}
-	results, err := uc.SpeedupMany(opt.plan(points))
+	results, err := opt.speedupResults(points)
 	if err != nil {
 		return err
 	}
 	for at := 0; at < len(results); at += len(designs) {
 		var sp [4]float64
+		var cells, cis [4]string
 		for i, d := range designs {
-			sp[i] = results[at+i].Speedup
+			r := results[at+i]
+			sp[i] = r.Speedup
+			cells[i] = ciCell(sp[i], r.CI)
+			if r.CI != nil {
+				cis[i] = f3(r.CI.HalfWidth)
+			}
 			geo[d][points[at].Capacity] = append(geo[d][points[at].Capacity], sp[i])
 		}
 		w, size := points[at].Workload, points[at].Capacity
-		rows = append(rows, []string{w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
-		fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+		row := []string{w, config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])}
+		if sampled {
+			row = append(row, cis[0], cis[1], cis[2], cis[3])
+		}
+		rows = append(rows, row)
+		fmt.Printf(rowFmt, w, config.SizeLabel(size), cells[0], cells[1], cells[2], cells[3])
 	}
 	for _, size := range config.CloudSuiteSizes() {
 		var g [4]float64
@@ -334,8 +450,15 @@ func fig7(opt options) error {
 			}
 			g[i] = v
 		}
-		rows = append(rows, []string{"geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3])})
-		fmt.Printf("%-18s %-8s %8s %8s %8s %8s\n", "geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3]))
+		row := []string{"geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3])}
+		if sampled {
+			row = append(row, "", "", "", "")
+		}
+		rows = append(rows, row)
+		fmt.Printf(rowFmt, "geomean", config.SizeLabel(size), f2(g[0]), f2(g[1]), f2(g[2]), f2(g[3]))
+	}
+	if sampled {
+		sampleSummary(results)
 	}
 	fmt.Println()
 	return writeCSV(opt, "fig7", header, rows)
@@ -347,27 +470,48 @@ func fig8(opt options) error {
 		return nil
 	}
 	fmt.Println("== Figure 8: TPC-H speedup, 1-8GB caches ==")
+	sampled := opt.sample.Enabled()
 	header := []string{"size", "alloy", "footprint", "unison", "ideal"}
+	if sampled {
+		header = append(header, "alloy_ci", "footprint_ci", "unison_ci", "ideal_ci")
+	}
 	var rows [][]string
 	designs := []uc.DesignKind{uc.DesignAlloy, uc.DesignFootprint, uc.DesignUnison, uc.DesignIdeal}
-	fmt.Printf("%-8s %8s %8s %8s %8s\n", "size", "alloy", "footpr", "unison", "ideal")
+	rowFmt := "%-8s %8s %8s %8s %8s\n"
+	if sampled {
+		rowFmt = "%-8s %12s %12s %12s %12s\n"
+	}
+	fmt.Printf(rowFmt, "size", "alloy", "footpr", "unison", "ideal")
 	points := uc.Sweep{
 		Base:       opt.run("tpch", "", 0),
 		Capacities: config.TPCHSizes(),
 		Designs:    designs,
 	}.Points()
-	results, err := uc.SpeedupMany(opt.plan(points))
+	results, err := opt.speedupResults(points)
 	if err != nil {
 		return err
 	}
 	for at := 0; at < len(results); at += len(designs) {
 		var sp [4]float64
+		var cells, cis [4]string
 		for i := range designs {
-			sp[i] = results[at+i].Speedup
+			r := results[at+i]
+			sp[i] = r.Speedup
+			cells[i] = ciCell(sp[i], r.CI)
+			if r.CI != nil {
+				cis[i] = f3(r.CI.HalfWidth)
+			}
 		}
 		size := points[at].Capacity
-		rows = append(rows, []string{config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])})
-		fmt.Printf("%-8s %8s %8s %8s %8s\n", config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3]))
+		row := []string{config.SizeLabel(size), f2(sp[0]), f2(sp[1]), f2(sp[2]), f2(sp[3])}
+		if sampled {
+			row = append(row, cis[0], cis[1], cis[2], cis[3])
+		}
+		rows = append(rows, row)
+		fmt.Printf(rowFmt, config.SizeLabel(size), cells[0], cells[1], cells[2], cells[3])
+	}
+	if sampled {
+		sampleSummary(results)
 	}
 	fmt.Println()
 	return writeCSV(opt, "fig8", header, rows)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,76 @@ import (
 	"unisoncache/internal/config"
 	"unisoncache/internal/stats"
 )
+
+// TestExperimentIndex: the -list output names every experiment exactly
+// once, with a paper mapping, plus the "all" pseudo-entry.
+func TestExperimentIndex(t *testing.T) {
+	var buf bytes.Buffer
+	printIndex(&buf)
+	out := buf.String()
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Errorf("experiment %q listed twice", e.name)
+		}
+		seen[e.name] = true
+		if !strings.Contains(out, e.name) {
+			t.Errorf("-list output missing %q", e.name)
+		}
+		if e.paper == "" || e.fn == nil {
+			t.Errorf("experiment %q lacks a paper mapping or runner", e.name)
+		}
+	}
+	if !strings.Contains(out, "all") {
+		t.Error("-list output missing the all pseudo-entry")
+	}
+}
+
+// TestFig7SampledCSV: with sampling enabled the fig7 CSV gains one CI
+// column per design, populated for workload rows and empty for the
+// geomean aggregate rows.
+func TestFig7SampledCSV(t *testing.T) {
+	spec, err := uc.ParseSampleSpec("interval=250,gap=250,min=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := options{
+		accesses:  6_000,
+		seed:      1,
+		workloads: []string{"web-search"},
+		outDir:    t.TempDir(),
+		sample:    spec,
+	}
+	if err := fig7(opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(opt.outDir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	wantHeader := "workload,size,alloy,footprint,unison,ideal,alloy_ci,footprint_ci,unison_ci,ideal_ci"
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
+	}
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 10 {
+			t.Fatalf("row %q has %d columns, want 10", line, len(cols))
+		}
+		if strings.HasPrefix(line, "geomean") {
+			if cols[6] != "" {
+				t.Errorf("geomean row carries a CI: %q", line)
+			}
+			continue
+		}
+		for _, ci := range cols[6:] {
+			if ci == "" {
+				t.Errorf("workload row missing CI value: %q", line)
+			}
+		}
+	}
+}
 
 // TestFig7CSVMatchesSerial pins the acceptance criterion: the concurrent,
 // baseline-memoized fig7 must write a CSV byte-identical to the

@@ -28,7 +28,8 @@ func main() {
 
 // realMain carries the whole run so its defers — in particular the pprof
 // stop/flush — execute on error paths too; os.Exit happens only in main.
-func realMain() int {
+// The return is named so the -memprofile defer can fail the process.
+func realMain() (code int) {
 	workload := flag.String("workload", "web-search", "one of: "+strings.Join(uc.Workloads(), ", "))
 	design := flag.String("design", "unison", "one of: unison, unison-1984, alloy, footprint, ideal, none")
 	size := flag.String("size", "1GB", "cache capacity (e.g. 128MB, 1GB, 8GB)")
@@ -37,6 +38,9 @@ func realMain() int {
 	ways := flag.Int("ways", 0, "Unison associativity override (1, 4, 32)")
 	scale := flag.Int("scale", 0, "capacity scale divisor (0 = automatic)")
 	tracePath := flag.String("trace", "", "replay a .utrace capture (tracegen -record); workload, seed and core count come from the file")
+	sampleFlag := flag.Bool("sample", false, "SMARTS-style sampled simulation: windowed measurement with a confidence interval and adaptive early stop")
+	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
+	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the baseline run (no speedup)")
 	jobs := flag.Int("jobs", 0, "concurrent simulations for the design+baseline pair (0 = one per CPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
@@ -58,13 +62,13 @@ func realMain() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fail(err)
+				code = fail(err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // surface live heap, not transient garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fail(err)
+				code = fail(err)
 			}
 		}()
 	}
@@ -82,6 +86,19 @@ func realMain() int {
 		UnisonWays:      *ways,
 		ScaleDivisor:    *scale,
 		TracePath:       *tracePath,
+	}
+	if *sampleFlag || *sampleSpec != "" || *confidence != 0 {
+		run.Sampling = uc.DefaultSampleSpec()
+		if *sampleSpec != "" {
+			spec, err := uc.ParseSampleSpec(*sampleSpec)
+			if err != nil {
+				return fail(err)
+			}
+			run.Sampling = spec
+		}
+		if *confidence != 0 {
+			run.Sampling.Confidence = *confidence
+		}
 	}
 	if *tracePath != "" {
 		// The capture header defines the stream. Flags left at their
@@ -101,15 +118,24 @@ func realMain() int {
 
 	var res, base uc.Result
 	var speedup float64
+	var speedupCI *uc.SpeedupCI
 	if *noBaseline || run.Design == uc.DesignNone {
 		res, err = uc.Execute(run)
 	} else {
 		// The design and its no-DRAM-cache baseline run concurrently
-		// through the sweep engine.
+		// through the sweep engine; a sampled pair goes through the
+		// CI-target plan, which densifies the windows until the speedup
+		// CI meets the spec's target.
 		var sp []uc.SpeedupResult
-		sp, err = uc.SpeedupMany(uc.Plan{Points: []uc.Run{run}, Jobs: *jobs})
+		plan := uc.Plan{Points: []uc.Run{run}, Jobs: *jobs}
+		if run.Sampling.Enabled() {
+			sp, err = uc.SweepSampled(plan, run.Sampling)
+		} else {
+			sp, err = uc.SpeedupMany(plan)
+		}
 		if err == nil {
 			speedup, res, base = sp[0].Speedup, sp[0].Design, sp[0].Baseline
+			speedupCI = sp[0].CI
 		}
 	}
 	if err != nil {
@@ -125,9 +151,22 @@ func realMain() int {
 	fmt.Printf("capacity        %s (simulated at 1/%d scale)\n", *size, res.Run.ScaleDivisor)
 	fmt.Printf("accesses/core   %d (x%d cores)\n", res.Run.AccessesPerCore, res.Run.Cores)
 	fmt.Println()
-	fmt.Printf("UIPC            %.3f\n", res.UIPC)
+	if ci := res.CI; ci != nil {
+		fmt.Printf("UIPC            %.3f ± %.3f (%.0f%% CI over %d windows, %s)\n",
+			res.UIPC, ci.HalfWidth, 100*ci.Confidence, ci.Intervals(), convergenceLabel(ci))
+		fmt.Printf("sampling        %d detailed events of %d simulated (full run: %d; %.1fx fewer detailed)\n",
+			ci.DetailedEvents, ci.SimulatedEvents, ci.FullRunEvents,
+			float64(ci.FullRunEvents)/float64(ci.DetailedEvents))
+	} else {
+		fmt.Printf("UIPC            %.3f\n", res.UIPC)
+	}
 	if speedup > 0 {
-		fmt.Printf("speedup         %.2fx over no-DRAM-cache baseline (UIPC %.3f)\n", speedup, base.UIPC)
+		if speedupCI != nil {
+			fmt.Printf("speedup         %.2fx ± %.3f over no-DRAM-cache baseline (%.0f%% CI, %d matched windows; baseline UIPC %.3f)\n",
+				speedup, speedupCI.HalfWidth, 100*speedupCI.Confidence, speedupCI.Pairs, base.UIPC)
+		} else {
+			fmt.Printf("speedup         %.2fx over no-DRAM-cache baseline (UIPC %.3f)\n", speedup, base.UIPC)
+		}
 	}
 	fmt.Printf("miss ratio      %.1f%%  (%d reads: %d trigger, %d underprediction, %d singleton-bypassed)\n",
 		d.MissRatioPct(), d.Reads, d.TriggerMisses, d.UnderpredMisses, d.SingletonSkips)
@@ -151,6 +190,14 @@ func realMain() int {
 		100*res.Stacked.RowHitRate(), res.Stacked.Activations)
 	fmt.Printf("L1 hit rate     %.1f%%   L2 hit rate %.1f%%\n", 100*res.L1HitRate, 100*res.L2.HitRate())
 	return 0
+}
+
+// convergenceLabel describes how a sampled run ended.
+func convergenceLabel(ci *uc.SampleStats) string {
+	if ci.Converged {
+		return "early-stopped at target"
+	}
+	return "window budget exhausted"
 }
 
 // fail reports err and returns the process exit code; callers return it so

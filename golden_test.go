@@ -107,8 +107,92 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// The sampled golden wall: testdata/golden_sampled.json freezes complete
+// sampled Results — the windowed UIPC estimate, the CI block with every
+// per-window per-core sample, the early-stop outcome and the event
+// accounting — for a fixed SampleSpec across three designs and two
+// workloads. Bit-exact JSON equality pins the whole sampled pipeline:
+// schedule arithmetic, the no-barrier boundary snapshots, the ratio
+// estimator, the t-quantiles and the stopping rule.
+const goldenSampledPath = "testdata/golden_sampled.json"
+
+// goldenSampledRuns: unison + alloy + the no-cache baseline, so the wall
+// also covers exactly the runs a sampled speedup pairs.
+func goldenSampledRuns() []uc.Run {
+	spec := uc.SampleSpec{IntervalEvents: 500, GapEvents: 500, MinIntervals: 4}
+	var runs []uc.Run
+	for _, w := range []string{"web-search", "data-analytics"} {
+		for _, d := range []uc.DesignKind{uc.DesignUnison, uc.DesignAlloy, uc.DesignNone} {
+			runs = append(runs, uc.Run{
+				Workload:        w,
+				Design:          d,
+				Capacity:        256 << 20,
+				Cores:           4,
+				AccessesPerCore: 20_000,
+				Seed:            1,
+				Sampling:        spec,
+			})
+		}
+	}
+	return runs
+}
+
+func TestGoldenSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled golden wall replays 6 simulations; skipped in -short")
+	}
+	runs := goldenSampledRuns()
+	got := make(map[string]json.RawMessage, len(runs))
+	for _, r := range runs {
+		res, err := uc.Execute(r)
+		if err != nil {
+			t.Fatalf("%s: %v", goldenKey(r), err)
+		}
+		if res.CI == nil {
+			t.Fatalf("%s: sampled run returned no CI", goldenKey(r))
+		}
+		got[goldenKey(r)] = encodeResult(t, res)
+	}
+
+	if *updateGolden {
+		writeGoldenFile(t, goldenSampledPath, runs, got)
+		return
+	}
+
+	data, err := os.ReadFile(goldenSampledPath)
+	if err != nil {
+		t.Fatalf("reading %s (generate it with -update): %v", goldenSampledPath, err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenSampledPath, err)
+	}
+	if len(want) != len(runs) {
+		t.Errorf("golden file holds %d entries, expected %d", len(want), len(runs))
+	}
+	for _, r := range runs {
+		key := goldenKey(r)
+		t.Run(key, func(t *testing.T) {
+			w, ok := want[key]
+			if !ok {
+				t.Fatalf("no golden entry for %s (regenerate with -update)", key)
+			}
+			if string(w) != string(got[key]) {
+				t.Errorf("sampled result diverged from golden (run with -update only if the change is intended)\ngolden: %s\n   got: %s",
+					w, got[key])
+			}
+		})
+	}
+}
+
 // writeGolden rewrites the golden file with deterministic key order.
 func writeGolden(t *testing.T, runs []uc.Run, got map[string]json.RawMessage) {
+	t.Helper()
+	writeGoldenFile(t, goldenPath, runs, got)
+}
+
+// writeGoldenFile writes one golden fixture with deterministic key order.
+func writeGoldenFile(t *testing.T, goldenPath string, runs []uc.Run, got map[string]json.RawMessage) {
 	t.Helper()
 	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 		t.Fatal(err)

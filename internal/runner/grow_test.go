@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRefineRounds: unsatisfied points re-run with grown budgets, bounded
+// by the round cap, and results come back in point order.
+func TestRefineRounds(t *testing.T) {
+	type pt struct{ id, budget int }
+	points := []pt{{0, 1}, {1, 8}, {2, 2}}
+	run := func(ps []pt) ([]int, error) {
+		out := make([]int, len(ps))
+		for i, p := range ps {
+			out[i] = p.budget
+		}
+		return out, nil
+	}
+	grow := func(p pt, r int) (pt, bool) {
+		if r >= 8 {
+			return p, false
+		}
+		p.budget *= 2
+		return p, true
+	}
+	got, err := Refine(points, run, grow, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{8, 8, 8} {
+		if got[i] != want {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	// A tight round cap stops refinement early.
+	capped, err := Refine(points, run, grow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{2, 8, 4} {
+		if capped[i] != want {
+			t.Fatalf("capped result[%d] = %d, want %d", i, capped[i], want)
+		}
+	}
+}
+
+// TestRefineOnlyUnsatisfiedRerun: satisfied points never re-execute and
+// keep their first-round results.
+func TestRefineOnlyUnsatisfiedRerun(t *testing.T) {
+	var batches atomic.Int64
+	var executed atomic.Int64
+	points := []int{10, 1, 10, 2}
+	run := func(ps []int) ([]int, error) {
+		batches.Add(1)
+		executed.Add(int64(len(ps)))
+		out := make([]int, len(ps))
+		for i, p := range ps {
+			out[i] = p
+		}
+		return out, nil
+	}
+	grow := func(p, r int) (int, bool) {
+		if r >= 4 {
+			return p, false
+		}
+		return p * 2, true
+	}
+	got, err := Refine(points, run, grow, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 4, 10, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Round 1: all 4. Round 2: points 1 and 3 (now 2 and 4). Round 3:
+	// point 1 only (now 4). Round 4: none.
+	if b, e := batches.Load(), executed.Load(); b != 3 || e != 7 {
+		t.Fatalf("ran %d batches / %d point-executions, want 3 / 7", b, e)
+	}
+}
+
+// TestRefinePropagatesError: a failing refinement round surfaces its
+// error.
+func TestRefinePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	run := func(ps []int) ([]int, error) {
+		calls++
+		if calls == 2 {
+			return nil, boom
+		}
+		return ps, nil
+	}
+	grow := func(p, r int) (int, bool) { return p + 1, p < 5 }
+	if _, err := Refine([]int{1}, run, grow, 3); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestRefineZeroRounds reduces to a single batch run.
+func TestRefineZeroRounds(t *testing.T) {
+	run := func(ps []int) ([]int, error) { return ps, nil }
+	grow := func(p, r int) (int, bool) { return p * 10, true } // would always grow
+	got, err := Refine([]int{3, 4}, run, grow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("got %v, want [3 4]", got)
+	}
+}

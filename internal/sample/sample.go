@@ -1,0 +1,384 @@
+// Package sample implements SMARTS-style sampled simulation: instead of
+// measuring one long contiguous interval, a run is scheduled as functional
+// warmup followed by short detailed measurement windows separated by
+// functional gaps, with a confidence interval computed over the per-window
+// metrics and the run terminated early once a requested relative CI
+// half-width is reached (e.g. ±2% at 95%).
+//
+// Phase vocabulary, mapped onto this reproduction's engine (DESIGN.md §9):
+//
+//   - functional phases (warmup, inter-window gaps) advance every piece of
+//     simulated state — cache content, predictor training, row buffers,
+//     core clocks — but contribute nothing to the windowed throughput
+//     estimate. The engine has no cheaper functional mode (its detailed
+//     model *is* its state model), so functional events cost the same
+//     wall-clock as detailed ones; the speedup of a sampled run comes from
+//     adaptive early termination, which skips the rest of the trace
+//     entirely once the estimate is tight.
+//   - detailed windows are the measurement intervals: per-core
+//     instruction/cycle snapshots at each window's boundaries — taken
+//     inside one continuous replay, never by pausing it — feed the summed
+//     per-core ratio estimator (stats.SummedRatios) whose delta-method
+//     variance carries the confidence interval.
+//
+// Everything is deterministic: a fixed Spec, Run configuration and seed
+// yields a bit-identical Report, including the early-stop decision.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"unisoncache/internal/sim"
+	"unisoncache/internal/stats"
+)
+
+// Spec configures the sampling schedule and stopping rule. The zero value
+// of a field selects its default; the -1 sentinels mirror Run.ScaleDivisor
+// ("the default choice spelled explicitly" becomes "explicitly none").
+type Spec struct {
+	// WarmupFrac is the fraction of the run's event budget spent on
+	// functional warmup before the first window (default 2/3, matching
+	// the full-run pipeline so the windows subsample exactly the region
+	// a full run measures; negative means no warmup).
+	WarmupFrac float64
+	// WarmupEvents, when positive, overrides WarmupFrac with an absolute
+	// per-core event count. An absolute warmup pins the window schedule
+	// to fixed event offsets independent of the run's budget, which
+	// keeps matched pairs aligned across runs with different budgets
+	// (CI-target plans refine window *density* instead and never need
+	// it — see SweepSampled).
+	WarmupEvents int
+	// IntervalEvents is the detailed window length, in events per core
+	// (default 1000).
+	IntervalEvents int
+	// GapEvents is the functional gap between consecutive windows, in
+	// events per core (default 3x IntervalEvents — a 25% detailed duty
+	// cycle that CI-target sweeps densify on demand; -1 means no gap,
+	// tiling the windows back to back).
+	GapEvents int
+	// MinIntervals is the smallest number of windows measured before the
+	// stopping rule may trigger (default 4, floor 2 — one window carries
+	// no variance information).
+	MinIntervals int
+	// MaxIntervals caps the window count (default 0: as many as the
+	// event budget fits).
+	MaxIntervals int
+	// Confidence is the two-sided confidence level of the interval
+	// (default 0.95).
+	Confidence float64
+	// TargetRelCI is the early-stop target: measurement ends once the
+	// CI half-width divided by the mean is at or below it (default 0.03;
+	// -1 means no early stop — measure every window that fits).
+	TargetRelCI float64
+}
+
+// Default returns the fully defaulted spec.
+func Default() Spec { return Spec{}.WithDefaults() }
+
+// WithDefaults fills zero fields and canonicalizes negative sentinels to
+// -1. It is idempotent — the facade's Run defaulting and the driver's own
+// defaulting may both apply it — which is why "none" is stored as -1
+// rather than collapsing to the zero that means "pick the default".
+func (s Spec) WithDefaults() Spec {
+	switch {
+	case s.WarmupFrac == 0:
+		s.WarmupFrac = 2.0 / 3.0
+	case s.WarmupFrac < 0:
+		s.WarmupFrac = -1
+	}
+	if s.IntervalEvents == 0 {
+		s.IntervalEvents = 1000
+	}
+	switch {
+	case s.GapEvents == 0:
+		s.GapEvents = 3 * s.IntervalEvents
+	case s.GapEvents < 0:
+		s.GapEvents = -1
+	}
+	if s.MinIntervals == 0 {
+		s.MinIntervals = 4
+	}
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+	switch {
+	case s.TargetRelCI == 0:
+		s.TargetRelCI = 0.03
+	case s.TargetRelCI < 0:
+		s.TargetRelCI = -1
+	}
+	return s
+}
+
+// warmup, gap and target resolve the -1 sentinels to their effective
+// values.
+func (s Spec) warmup() float64 {
+	if s.WarmupFrac < 0 {
+		return 0
+	}
+	return s.WarmupFrac
+}
+
+// warmupIn returns the warmup length for one run's event budget.
+func (s Spec) warmupIn(accessesPerCore int) int {
+	if s.WarmupEvents > 0 {
+		if s.WarmupEvents > accessesPerCore {
+			return accessesPerCore
+		}
+		return s.WarmupEvents
+	}
+	return int(float64(accessesPerCore) * s.warmup())
+}
+
+func (s Spec) gap() int {
+	if s.GapEvents < 0 {
+		return 0
+	}
+	return s.GapEvents
+}
+
+func (s Spec) target() float64 {
+	if s.TargetRelCI < 0 {
+		return 0
+	}
+	return s.TargetRelCI
+}
+
+// Validate checks a defaulted spec. Call it on s.WithDefaults(); raw specs
+// still carrying zero values are not meaningful to validate.
+func (s Spec) Validate() error {
+	if s.WarmupFrac >= 1 || math.IsNaN(s.WarmupFrac) || (s.WarmupFrac < 0 && s.WarmupFrac != -1) {
+		return fmt.Errorf("sample: WarmupFrac %v outside [0,1) (use -1 for none)", s.WarmupFrac)
+	}
+	if s.WarmupEvents < 0 || s.WarmupEvents > 1<<30 {
+		return fmt.Errorf("sample: WarmupEvents %d outside [0, 2^30]", s.WarmupEvents)
+	}
+	if s.IntervalEvents < 1 {
+		return fmt.Errorf("sample: IntervalEvents must be >= 1, got %d", s.IntervalEvents)
+	}
+	if s.IntervalEvents > 1<<30 {
+		return fmt.Errorf("sample: IntervalEvents %d implausibly large", s.IntervalEvents)
+	}
+	if s.GapEvents > 1<<30 || (s.GapEvents < 0 && s.GapEvents != -1) {
+		return fmt.Errorf("sample: GapEvents %d outside [0, 2^30] (use -1 for none)", s.GapEvents)
+	}
+	if s.MinIntervals < 2 {
+		return fmt.Errorf("sample: MinIntervals must be >= 2 (one window carries no variance), got %d", s.MinIntervals)
+	}
+	if s.MaxIntervals < 0 {
+		return fmt.Errorf("sample: MaxIntervals %d negative (0 means unlimited)", s.MaxIntervals)
+	}
+	if s.MaxIntervals != 0 && s.MaxIntervals < s.MinIntervals {
+		return fmt.Errorf("sample: MaxIntervals %d below MinIntervals %d", s.MaxIntervals, s.MinIntervals)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 || math.IsNaN(s.Confidence) {
+		return fmt.Errorf("sample: Confidence %v outside (0,1)", s.Confidence)
+	}
+	if s.TargetRelCI >= 1 || math.IsNaN(s.TargetRelCI) || (s.TargetRelCI < 0 && s.TargetRelCI != -1) {
+		return fmt.Errorf("sample: TargetRelCI %v outside [0,1) (use -1 for none)", s.TargetRelCI)
+	}
+	return nil
+}
+
+// Parse reads the flag form of a Spec: a comma-separated key=value list,
+// e.g. "warmup=0.5,interval=1000,gap=1000,min=6,max=0,conf=0.95,ci=0.02".
+// The words "on" and "default" select the all-defaults spec. Keys may be
+// omitted; values use the same zero/-1 conventions as the struct fields.
+// The returned spec is raw (defaults not yet applied) but guaranteed to
+// validate after WithDefaults.
+func Parse(text string) (Spec, error) {
+	var s Spec
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return s, fmt.Errorf("sample: empty spec")
+	}
+	if trimmed == "on" || trimmed == "default" {
+		return s, nil
+	}
+	for _, part := range strings.Split(trimmed, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return s, fmt.Errorf("sample: empty key=value element in %q", text)
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("sample: element %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "warmup":
+			s.WarmupFrac, err = parseFloat(val)
+		case "warmupevents":
+			s.WarmupEvents, err = parseInt(val)
+		case "interval":
+			s.IntervalEvents, err = parseInt(val)
+		case "gap":
+			s.GapEvents, err = parseInt(val)
+		case "min":
+			s.MinIntervals, err = parseInt(val)
+		case "max":
+			s.MaxIntervals, err = parseInt(val)
+		case "conf", "confidence":
+			s.Confidence, err = parseFloat(val)
+		case "ci", "target":
+			s.TargetRelCI, err = parseFloat(val)
+		default:
+			return s, fmt.Errorf("sample: unknown key %q (have warmup, warmupevents, interval, gap, min, max, conf, ci)", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("sample: %s=%q: %w", key, val, err)
+		}
+	}
+	if err := s.WithDefaults().Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func parseFloat(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number")
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("not finite")
+	}
+	return f, nil
+}
+
+func parseInt(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("not an integer")
+	}
+	return n, nil
+}
+
+// String renders the spec in Parse's format (defaults applied first), so
+// a spec round-trips through the flag form.
+func (s Spec) String() string {
+	d := s.WithDefaults()
+	out := fmt.Sprintf("warmup=%g,interval=%d,gap=%d,min=%d,max=%d,conf=%g,ci=%g",
+		d.WarmupFrac, d.IntervalEvents, d.GapEvents, d.MinIntervals, d.MaxIntervals, d.Confidence, d.TargetRelCI)
+	if d.WarmupEvents > 0 {
+		out += fmt.Sprintf(",warmupevents=%d", d.WarmupEvents)
+	}
+	return out
+}
+
+// Windows returns how many detailed windows the schedule fits into
+// accessesPerCore events (before any early stop), and the warmup length.
+func (s Spec) Windows(accessesPerCore int) (fit, warm int) {
+	d := s.WithDefaults()
+	warm = d.warmupIn(accessesPerCore)
+	left := accessesPerCore - warm
+	if left >= d.IntervalEvents {
+		fit = 1 + (left-d.IntervalEvents)/(d.IntervalEvents+d.gap())
+	}
+	if d.MaxIntervals > 0 && fit > d.MaxIntervals {
+		fit = d.MaxIntervals
+	}
+	return fit, warm
+}
+
+// Report is one sampled run's outcome.
+type Report struct {
+	// Windows holds one entry per detailed measurement window, in
+	// schedule order. The per-window (Instructions, Cycles) pairs are
+	// the estimator's samples; matched-pair speedup CIs pair them across
+	// runs.
+	Windows []sim.Interval
+	// UIPC is the sampled throughput estimate: the summed per-core ratio
+	// estimator Σ_core(Σinstr/Σcycles) over the windows, which reproduces
+	// the whole-region UIPC exactly when the windows tile the region. A
+	// naive mean of per-window UIPCs weights long and short windows
+	// equally (several percent off), and any estimator built from window
+	// aggregates alone misses the per-core cycle spread (tens of percent
+	// off) — per-core pairing is load-bearing.
+	UIPC float64
+	// HalfWidth is the CI half-width on UIPC at Spec.Confidence.
+	HalfWidth float64
+	// Converged reports whether the early-stop target was reached (always
+	// false when the target is disabled).
+	Converged bool
+	// DetailedPerCore and ConsumedPerCore count events per core inside
+	// detailed windows and in total (warmup + gaps + windows). The spread
+	// between ConsumedPerCore and the run's event budget is what early
+	// termination saved.
+	DetailedPerCore int
+	ConsumedPerCore int
+	// Results covers the whole measured region — every event from the
+	// first window's start through the last window's end, gaps included —
+	// so ratio statistics (miss ratios, predictor accuracies, traffic)
+	// use all post-warmup events. Results.UIPC is the region value, NOT
+	// the windowed estimate; callers wanting the sampled estimator read
+	// Report.UIPC.
+	Results sim.Results
+}
+
+// Run executes the sampled schedule on a prepared machine: functional
+// warmup, then one continuous replay measuring detailed windows separated
+// by functional gaps, stopping early once the CI target holds (after
+// MinIntervals windows), or at the last window the budget fits. The
+// window boundaries are per-core counter snapshots inside the continuous
+// replay — no synchronization barrier ever splits the schedule, so the
+// event interleaving (and therefore the contention physics) is the same
+// one the full run replays. accessesPerCore bounds the total events
+// pulled per core — a finite replay source sized to the run is never
+// over-pulled.
+func Run(m *sim.Machine, accessesPerCore int, spec Spec) (Report, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	fit, warm := spec.Windows(accessesPerCore)
+	if fit < spec.MinIntervals {
+		return Report{}, fmt.Errorf(
+			"sample: %d accesses per core fit %d measurement windows after %d warmup events, need MinIntervals=%d (shorten the spec or lengthen the run)",
+			accessesPerCore, fit, warm, spec.MinIntervals)
+	}
+	if warm > 0 {
+		m.Replay(warm)
+	}
+	m.BeginMeasurement()
+
+	// Window w starts at w*(interval+gap) past the warmup boundary; the
+	// replay horizon is the last window's end — nothing beyond it can be
+	// measured, so nothing beyond it is simulated.
+	starts := make([]int, fit)
+	stride := spec.IntervalEvents + spec.gap()
+	for w := range starts {
+		starts[w] = w * stride
+	}
+	horizon := starts[fit-1] + spec.IntervalEvents
+
+	var rep Report
+	var est *stats.SummedRatios
+	consumed := m.ReplaySampled(horizon, starts, spec.IntervalEvents, func(w int, iv sim.Interval) bool {
+		rep.Windows = append(rep.Windows, iv)
+		if est == nil {
+			est = stats.NewSummedRatios(len(iv.PerCore))
+		}
+		samples := make([]stats.RatioSample, len(iv.PerCore))
+		for c, d := range iv.PerCore {
+			samples[c] = stats.RatioSample{Y: float64(d.Instructions), X: float64(d.Cycles)}
+		}
+		est.AddWindow(samples)
+		if len(rep.Windows) >= spec.MinIntervals && spec.target() > 0 &&
+			est.RelCI(spec.Confidence) <= spec.target() {
+			rep.Converged = true
+			return false
+		}
+		return true
+	})
+	rep.Results = m.CollectResults()
+	rep.UIPC = est.Value()
+	rep.HalfWidth = est.CI(spec.Confidence)
+	rep.DetailedPerCore = len(rep.Windows) * spec.IntervalEvents
+	rep.ConsumedPerCore = warm + consumed
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPhaseCompositionMatchesRun pins the interval API's core contract:
+// Replay(warm) + BeginMeasurement + Replay(rest) + CollectResults is
+// bit-identical to Run(accesses) on an identically constructed machine —
+// the sampled driver composes exactly the same primitives Run does.
+func TestPhaseCompositionMatchesRun(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	const accesses = 9_000
+	whole := testMachine(t, cfg, "web-search", noneDesign).Run(accesses)
+
+	m := testMachine(t, cfg, "web-search", noneDesign)
+	warm := int(float64(accesses) * cfg.WarmupFrac)
+	m.Replay(warm)
+	m.BeginMeasurement()
+	m.Replay(accesses - warm)
+	composed := m.CollectResults()
+
+	a, _ := json.Marshal(whole)
+	b, _ := json.Marshal(composed)
+	if string(a) != string(b) {
+		t.Fatalf("phase composition diverged from Run:\n run: %s\ncomposed: %s", a, b)
+	}
+}
+
+// TestReplaySampledNoBarrier pins the property the sampled path is built
+// on: measuring windows inside ReplaySampled leaves the simulation
+// bit-identical to a plain Replay of the same span — boundaries are pure
+// snapshots, never synchronization barriers.
+func TestReplaySampledNoBarrier(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	const warm, span = 3_000, 6_000
+
+	plain := testMachine(t, cfg, "data-serving", noneDesign)
+	plain.Replay(warm)
+	plain.BeginMeasurement()
+	plain.Replay(span)
+	want := plain.CollectResults()
+
+	sampled := testMachine(t, cfg, "data-serving", noneDesign)
+	sampled.Replay(warm)
+	sampled.BeginMeasurement()
+	windows := 0
+	consumed := sampled.ReplaySampled(span, []int{0, 2_000, 4_000}, 1_000, func(w int, iv Interval) bool {
+		windows++
+		return true
+	})
+	got := sampled.CollectResults()
+
+	if consumed != span {
+		t.Fatalf("consumed %d events per core, want the full span %d", consumed, span)
+	}
+	if windows != 3 {
+		t.Fatalf("measured %d windows, want 3", windows)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("window boundaries perturbed the simulation:\nplain:   %s\nsampled: %s", a, b)
+	}
+}
+
+// TestReplaySampledTiling: windows tiling the whole span telescope — the
+// per-core window sums equal the region totals exactly.
+func TestReplaySampledTiling(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	m := testMachine(t, cfg, "web-serving", noneDesign)
+	m.Replay(2_000)
+	m.BeginMeasurement()
+	const windows, length = 5, 800
+	perCore := make([]CoreInterval, cfg.Cores)
+	var instr uint64
+	starts := make([]int, windows)
+	for w := range starts {
+		starts[w] = w * length
+	}
+	n := 0
+	m.ReplaySampled(windows*length, starts, length, func(w int, iv Interval) bool {
+		if w != n {
+			t.Fatalf("windows out of order: got %d, want %d", w, n)
+		}
+		n++
+		if iv.UIPC <= 0 || iv.Instructions == 0 || iv.Cycles == 0 {
+			t.Fatalf("window %d: empty metrics %+v", w, iv)
+		}
+		for c, d := range iv.PerCore {
+			perCore[c].Instructions += d.Instructions
+			perCore[c].Cycles += d.Cycles
+		}
+		instr += iv.Instructions
+		return true
+	})
+	res := m.CollectResults()
+	if res.Instructions != instr {
+		t.Errorf("windows retired %d instructions, region reports %d", instr, res.Instructions)
+	}
+	var uipc float64
+	for _, d := range perCore {
+		if d.Cycles > 0 {
+			uipc += float64(d.Instructions) / float64(d.Cycles)
+		}
+	}
+	if diff := uipc - res.UIPC; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-core window sums give UIPC %v, region %v", uipc, res.UIPC)
+	}
+}
+
+// TestReplaySampledEarlyStop: returning false from the visitor ends the
+// replay without simulating the remaining schedule, and gap events
+// between windows still land in the region statistics.
+func TestReplaySampledEarlyStop(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	m := testMachine(t, cfg, "web-search", noneDesign)
+	m.Replay(2_000)
+	m.BeginMeasurement()
+	// Windows at 0 and 2000 (gap 1500 between), horizon 10000.
+	var first Interval
+	consumed := m.ReplaySampled(10_000, []int{0, 2_000}, 500, func(w int, iv Interval) bool {
+		if w == 0 {
+			first = iv
+		}
+		return w < 0 // stop after the first window
+	})
+	if consumed >= 10_000 {
+		t.Fatalf("early stop consumed the whole horizon (%d)", consumed)
+	}
+	if consumed < 500 {
+		t.Fatalf("consumed %d events, yet the first window needs 500", consumed)
+	}
+	res := m.CollectResults()
+	if res.Instructions < first.Instructions {
+		t.Errorf("region instructions %d below the measured window's %d", res.Instructions, first.Instructions)
+	}
+}

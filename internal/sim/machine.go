@@ -286,9 +286,180 @@ func matchWinner(clocks []uint64, l, r int32) int32 {
 
 // Replay advances every core by eventsPerCore events without touching the
 // warmup/measurement bookkeeping. It exists for benchmarking and allocation
-// tests that need to drive the steady-state hot loop directly; simulations
-// use Run.
+// tests that need to drive the steady-state hot loop directly, and it is
+// the sampled path's functional phase: warmup and inter-window gaps advance
+// cache content, predictor training, row buffers and core clocks at full
+// fidelity while the measurement bookkeeping stays wherever the last
+// boundary left it. Full simulations use Run.
 func (m *Machine) Replay(eventsPerCore int) { m.replay(eventsPerCore) }
+
+// BeginMeasurement marks the warmup/measurement boundary for callers that
+// drive the machine phase by phase (the sampled-simulation schedule):
+// statistics reset everywhere, simulated state stays warm. Equivalent to
+// the boundary Run places after the warmup fraction.
+func (m *Machine) BeginMeasurement() { m.resetForMeasurement() }
+
+// CollectResults assembles results for everything measured since
+// BeginMeasurement. The caller owns the phase schedule; Run is the
+// one-warmup-one-interval composition of Replay, BeginMeasurement,
+// Replay, CollectResults.
+func (m *Machine) CollectResults() Results { return m.collect() }
+
+// CoreInterval is one core's share of a measurement window: its retired
+// instructions and elapsed cycles. Per-core deltas matter because the
+// run-level throughput metric is the *sum of per-core IPCs*, and cores
+// finish a fixed event count at very different cycle counts — any
+// estimator built from window aggregates alone misstates it badly.
+type CoreInterval struct {
+	Instructions uint64
+	Cycles       uint64
+}
+
+// Interval is one detailed measurement window's metrics, computed from
+// cheap per-core counter snapshots at the window's boundaries.
+type Interval struct {
+	// UIPC is the summed per-core IPC over the window — the same
+	// estimator Results.UIPC uses for the whole measured region.
+	UIPC float64
+	// Instructions is the window's total retired instructions; Cycles is
+	// the maximum per-core cycle delta.
+	Instructions uint64
+	Cycles       uint64
+	// PerCore holds each core's window deltas (the sampling estimator's
+	// raw material).
+	PerCore []CoreInterval
+}
+
+// ReplaySampled replays up to eventsPerCore events per core as ONE
+// continuous min-clock-first schedule while measuring windows along the
+// way: window w spans each core's events [starts[w], starts[w]+length),
+// offsets relative to this call. Boundaries are pure per-core counter
+// snapshots taken as each core crosses them — the schedule is exactly
+// Replay's, with no synchronization barrier at any boundary. That is the
+// load-bearing property: pausing the replay at window edges (a separate
+// Replay call per window) re-synchronizes the cores' event counts, which
+// reorders how the shared L2 and DRAM reservations resolve and shifts
+// measured UIPC by whole percents per barrier; a sampled run must
+// replay the same event interleaving the full run would.
+//
+// After the last core finishes window w, measured(w, iv) is invoked; if
+// it returns false the replay stops right there (the adaptive early
+// termination that makes sampled runs cheap), leaving the events faster
+// cores had already simulated counted in the region statistics but in no
+// window. No statistics are reset at any boundary, so CollectResults
+// still covers the whole region since BeginMeasurement.
+//
+// Windows must be ascending, non-overlapping, and end at or before
+// eventsPerCore. Returns the maximum per-core event count consumed.
+func (m *Machine) ReplaySampled(eventsPerCore int, starts []int, length int, measured func(w int, iv Interval) bool) int {
+	if eventsPerCore <= 0 || len(starts) == 0 {
+		return 0
+	}
+	// Per-core boundary cursors and snapshots. Boundary 2w is window w's
+	// start, boundary 2w+1 its end.
+	cores := len(m.cores)
+	bounds := make([]int, 0, 2*len(starts))
+	for _, s := range starts {
+		bounds = append(bounds, s, s+length)
+	}
+	snaps := make([]CoreInterval, len(bounds)*cores) // snaps[b*cores+c]
+	cursor := make([]int, cores)                     // next boundary index per core
+	endLeft := make([]int, len(starts))              // cores yet to finish window w
+	for w := range endLeft {
+		endLeft[w] = cores
+	}
+
+	remaining := m.remaining
+	for i := range remaining {
+		remaining[i] = eventsPerCore
+	}
+	clocks := m.clocks
+	for i := range clocks {
+		if i < cores {
+			clocks[i] = m.cores[i].clock
+		} else {
+			clocks[i] = ^uint64(0)
+		}
+	}
+	tree := m.tree
+	for i := 0; i < m.leaves; i++ {
+		tree[m.leaves+i] = int32(i)
+	}
+	for n := m.leaves - 1; n >= 1; n-- {
+		tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
+	}
+
+	// Boundary offset 0 (a window starting immediately) is crossed by
+	// every core before any event runs.
+	for c := range m.cores {
+		m.crossBoundaries(c, 0, bounds, cursor, snaps)
+	}
+
+	live := cores
+	consumedMax := 0
+	for live > 0 {
+		best := int(tree[1])
+		m.step(best, remaining[best])
+		consumed := eventsPerCore - remaining[best] + 1
+		if consumed > consumedMax {
+			consumedMax = consumed
+		}
+		if w, done := m.crossBoundaries(best, consumed, bounds, cursor, snaps); done {
+			if endLeft[w]--; endLeft[w] == 0 {
+				// Only now — once the last core has crossed the window's
+				// end — are all of the window's snapshot rows written.
+				if !measured(w, windowOf(snaps[2*w*cores:], cores)) {
+					return consumedMax
+				}
+			}
+		}
+		if remaining[best]--; remaining[best] == 0 {
+			clocks[best] = ^uint64(0)
+			live--
+		} else {
+			clocks[best] = m.cores[best].clock
+		}
+		for n := (m.leaves + best) >> 1; n >= 1; n >>= 1 {
+			tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
+		}
+	}
+	return consumedMax
+}
+
+// crossBoundaries records core c's counters for every boundary at or
+// below consumed, and reports the window whose END boundary was just
+// crossed (done), if any.
+func (m *Machine) crossBoundaries(c, consumed int, bounds []int, cursor []int, snaps []CoreInterval) (window int, done bool) {
+	cores := len(m.cores)
+	for cursor[c] < len(bounds) && bounds[cursor[c]] <= consumed {
+		b := cursor[c]
+		snaps[b*cores+c] = CoreInterval{Instructions: m.cores[c].instr, Cycles: m.cores[c].clock}
+		cursor[c]++
+		if b%2 == 1 {
+			window, done = b/2, true
+		}
+	}
+	return window, done
+}
+
+// windowOf assembles a window's metrics from its start/end snapshot rows.
+func windowOf(rows []CoreInterval, cores int) Interval {
+	iv := Interval{PerCore: make([]CoreInterval, cores)}
+	for c := 0; c < cores; c++ {
+		start, end := rows[c], rows[cores+c]
+		instr := end.Instructions - start.Instructions
+		cycles := end.Cycles - start.Cycles
+		iv.PerCore[c] = CoreInterval{Instructions: instr, Cycles: cycles}
+		iv.Instructions += instr
+		if cycles > iv.Cycles {
+			iv.Cycles = cycles
+		}
+		if cycles > 0 {
+			iv.UIPC += float64(instr) / float64(cycles)
+		}
+	}
+	return iv
+}
 
 // step executes one trace event on core i; budget is the core's remaining
 // event demand in this replay phase (bounding how far ahead the prefetch

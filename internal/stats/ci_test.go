@@ -1,0 +1,384 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNormalQuantile pins the approximation against the textbook values
+// every confidence bound in the repo is built from.
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.841344746, 1.0},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(1), 1) || !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile must map the endpoints to ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("NormalQuantile must reject p outside [0,1]")
+	}
+}
+
+// TestTQuantile checks against standard t-table values. The Cornish-Fisher
+// expansion is a few 1e-3 off at small df, so tolerances widen there.
+func TestTQuantile(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 1, 12.7062, 1e-3}, // exact closed form
+		{0.975, 2, 4.3027, 1e-3},  // exact closed form
+		{0.975, 3, 3.1824, 3e-2},
+		{0.975, 5, 2.5706, 5e-3},
+		{0.975, 7, 2.3646, 3e-3},
+		{0.975, 10, 2.2281, 2e-3},
+		{0.975, 30, 2.0423, 1e-3},
+		{0.95, 5, 2.0150, 5e-3},
+		{0.995, 10, 3.1693, 1e-2},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.p, c.df); math.Abs(got-c.want) > c.tol {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v ±%v", c.p, c.df, got, c.want, c.tol)
+		}
+	}
+	if !math.IsNaN(TQuantile(0.975, 0)) {
+		t.Error("TQuantile must reject df <= 0")
+	}
+	if !math.IsNaN(TQuantile(0, 5)) || !math.IsNaN(TQuantile(1, 5)) {
+		t.Error("TQuantile must reject p outside (0,1)")
+	}
+}
+
+// TestWelfordClosedForm pins Mean against closed-form fixtures: the first
+// n integers have mean (n+1)/2 and sample variance n(n+1)/12.
+func TestWelfordClosedForm(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 100} {
+		var m Mean
+		for i := 1; i <= n; i++ {
+			m.Add(float64(i))
+		}
+		wantMean := float64(n+1) / 2
+		wantVar := float64(n) * float64(n+1) / 12
+		if math.Abs(m.Value()-wantMean) > 1e-9 {
+			t.Errorf("n=%d: mean %v, want %v", n, m.Value(), wantMean)
+		}
+		if math.Abs(m.Variance()-wantVar) > 1e-9*wantVar {
+			t.Errorf("n=%d: variance %v, want %v", n, m.Variance(), wantVar)
+		}
+	}
+}
+
+// TestMeanCIDegenerate covers the cases a deterministic simulator actually
+// produces: a single interval (no variance information) and identical
+// intervals (zero variance).
+func TestMeanCIDegenerate(t *testing.T) {
+	var one Mean
+	one.Add(3.5)
+	if hw := one.CI(0.95); hw != 0 {
+		t.Errorf("one sample: CI half-width %v, want 0", hw)
+	}
+	if rel := one.RelCI(0.95); rel != 0 {
+		t.Errorf("one sample: RelCI %v, want 0", rel)
+	}
+	var flat Mean
+	for i := 0; i < 10; i++ {
+		flat.Add(2.0)
+	}
+	if hw := flat.CI(0.95); hw != 0 {
+		t.Errorf("zero variance: CI half-width %v, want 0", hw)
+	}
+	var zero Mean
+	zero.Add(-1)
+	zero.Add(1)
+	if rel := zero.RelCI(0.95); !math.IsInf(rel, 1) {
+		t.Errorf("zero mean with spread: RelCI %v, want +Inf", rel)
+	}
+}
+
+// TestMeanCIShrinks checks the sqrt(n) law: quadrupling the sample count
+// roughly halves the half-width on the same distribution.
+func TestMeanCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ci := func(n int) float64 {
+		var m Mean
+		for i := 0; i < n; i++ {
+			m.Add(10 + rng.NormFloat64())
+		}
+		return m.CI(0.95)
+	}
+	small, large := ci(50), ci(200)
+	if large >= small {
+		t.Fatalf("CI half-width did not shrink: n=50 -> %v, n=200 -> %v", small, large)
+	}
+	if ratio := small / large; ratio < 1.4 || ratio > 2.9 {
+		t.Errorf("half-width ratio %v, want ~2 (sqrt(4))", ratio)
+	}
+}
+
+// TestMeanCICoverage is the honesty check on the t-based interval: over
+// many deterministic trials of normal samples, ~95% of the intervals must
+// contain the true mean.
+func TestMeanCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials, n, trueMean = 2000, 12, 5.0
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var m Mean
+		for i := 0; i < n; i++ {
+			m.Add(trueMean + 0.8*rng.NormFloat64())
+		}
+		if math.Abs(m.Value()-trueMean) <= m.CI(0.95) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("95%% CI covered the true mean in %.1f%% of trials, want ~95%%", 100*rate)
+	}
+}
+
+// TestRatioMeanExactOnTiling pins the property the sampled UIPC estimator
+// is chosen for: when the windows tile a region, ΣY/ΣX *is* the region's
+// ratio, no matter how unevenly the denominators split — exactly where a
+// mean of per-window Y/X goes wrong.
+func TestRatioMeanExactOnTiling(t *testing.T) {
+	// Region: 1000 instructions over 800 cycles, split into uneven windows.
+	windows := []RatioSample{{100, 50}, {400, 200}, {300, 350}, {200, 200}}
+	var r RatioMean
+	var naive Mean
+	for _, w := range windows {
+		r.Add(w.Y, w.X)
+		naive.Add(w.Y / w.X)
+	}
+	want := 1000.0 / 800
+	if got := r.Value(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ratio estimator = %v, want exact region ratio %v", got, want)
+	}
+	if math.Abs(naive.Value()-want) < 1e-3 {
+		t.Errorf("test fixture too tame: naive mean %v should diverge from %v", naive.Value(), want)
+	}
+}
+
+// TestRatioMeanCoverage checks the linearized ratio CI on synthetic
+// known-distribution data: windows with noisy cycle counts around a true
+// rate R; ~95% of intervals must contain R.
+func TestRatioMeanCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials, n, trueR = 2000, 15, 2.5
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var r RatioMean
+		for i := 0; i < n; i++ {
+			// Instructions fixed per window, cycles noisy — the shape the
+			// simulator produces. The true ratio of totals is trueR.
+			y := trueR * 100
+			x := 100 * (1 + 0.2*rng.NormFloat64())
+			r.Add(y, x)
+		}
+		if math.Abs(r.Value()-trueR) <= r.CI(0.95) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.91 || rate > 0.99 {
+		t.Errorf("95%% ratio CI covered the true value in %.1f%% of trials, want ~95%%", 100*rate)
+	}
+}
+
+// TestRatioMeanDegenerate: one window and zero variance.
+func TestRatioMeanDegenerate(t *testing.T) {
+	var one RatioMean
+	one.Add(30, 20)
+	if one.N() != 1 || one.Value() != 1.5 {
+		t.Errorf("one sample: N=%d Value=%v, want 1, 1.5", one.N(), one.Value())
+	}
+	if hw := one.CI(0.95); hw != 0 {
+		t.Errorf("one sample: CI %v, want 0", hw)
+	}
+	var flat RatioMean
+	for i := 0; i < 5; i++ {
+		flat.Add(40, 20)
+	}
+	if flat.Value() != 2 || flat.CI(0.95) != 0 {
+		t.Errorf("zero variance: Value=%v CI=%v, want 2, 0", flat.Value(), flat.CI(0.95))
+	}
+	var empty RatioMean
+	if empty.Value() != 0 || empty.CI(0.95) != 0 {
+		t.Errorf("empty estimator must report zeros")
+	}
+}
+
+// TestSummedRatiosExactOnTiling pins the estimator's defining property:
+// when windows tile a region, Value reproduces Σ_core I_core/C_core
+// exactly — even with wildly uneven per-core cycle splits.
+func TestSummedRatiosExactOnTiling(t *testing.T) {
+	u := NewSummedRatios(2)
+	// Core 0: 600 instr / 400 cycles; core 1: 900 instr / 1500 cycles.
+	u.AddWindow([]RatioSample{{100, 50}, {400, 900}})
+	u.AddWindow([]RatioSample{{500, 350}, {500, 600}})
+	want := 600.0/400 + 900.0/1500
+	if got := u.Value(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value = %v, want exact region metric %v", got, want)
+	}
+	if u.N() != 2 {
+		t.Errorf("N = %d, want 2", u.N())
+	}
+}
+
+// TestSummedRatiosCoverage checks the delta-method CI on synthetic
+// known-distribution data: per-core cycles noisy around a shared phase,
+// true value known.
+func TestSummedRatiosCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials, n, cores = 1200, 15, 4
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		u := NewSummedRatios(cores)
+		for j := 0; j < n; j++ {
+			w := make([]RatioSample, cores)
+			for c := range w {
+				// instructions fixed per window, cycles noisy: per-core
+				// true ratio 1000/800 = 1.25, summed 5.0.
+				w[c] = RatioSample{Y: 1000, X: 800 * (1 + 0.2*rng.NormFloat64())}
+			}
+			u.AddWindow(w)
+		}
+		if math.Abs(u.Value()-5.0) <= u.CI(0.95) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.91 || rate > 0.99 {
+		t.Errorf("95%% CI covered the true value in %.1f%% of trials, want ~95%%", 100*rate)
+	}
+}
+
+// TestPairedSpeedupCoverage checks matched-pair CI coverage on synthetic
+// known-distribution data: both runs share large per-window phase noise
+// in their cycle counts, the design is trueSpeedup faster with small
+// independent noise. The pairing must cancel the shared noise and the CI
+// must cover the true speedup at roughly its nominal rate.
+func TestPairedSpeedupCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const trials, pairs, cores, trueSpeedup = 1200, 10, 2, 1.6
+	covered := 0
+	var width Mean
+	for trial := 0; trial < trials; trial++ {
+		design := NewSummedRatios(cores)
+		baseline := NewSummedRatios(cores)
+		for j := 0; j < pairs; j++ {
+			dw := make([]RatioSample, cores)
+			bw := make([]RatioSample, cores)
+			for c := range dw {
+				phase := 1 + 0.3*rng.Float64() // shared workload-phase hardness
+				bCycles := 400 * phase
+				dCycles := bCycles / trueSpeedup * (1 + 0.02*rng.NormFloat64())
+				bw[c] = RatioSample{Y: 1000, X: bCycles}
+				dw[c] = RatioSample{Y: 1000, X: dCycles}
+			}
+			design.AddWindow(dw)
+			baseline.AddWindow(bw)
+		}
+		s, hw := PairedSpeedupCI(design, baseline, 0.95)
+		width.Add(hw / s)
+		if math.Abs(s-trueSpeedup) <= hw {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.995 {
+		t.Errorf("matched-pair 95%% CI covered the true speedup in %.1f%% of trials, want ~95%%", 100*rate)
+	}
+	// The pairing must actually cancel the ±15% shared phase noise: the
+	// mean relative half-width must reflect only the ~2% pair noise.
+	if width.Value() > 0.06 {
+		t.Errorf("mean relative half-width %.3f: pairing failed to cancel shared phase noise", width.Value())
+	}
+}
+
+// TestPairedSpeedupDegenerate: empty, one-pair and mismatched-count
+// inputs.
+func TestPairedSpeedupDegenerate(t *testing.T) {
+	if s, hw := PairedSpeedupCI(NewSummedRatios(1), NewSummedRatios(1), 0.95); s != 0 || hw != 0 {
+		t.Errorf("empty: %v ± %v, want 0, 0", s, hw)
+	}
+	one := NewSummedRatios(1)
+	one.AddWindow([]RatioSample{{30, 10}})
+	base := NewSummedRatios(1)
+	base.AddWindow([]RatioSample{{30, 20}})
+	s, hw := PairedSpeedupCI(one, base, 0.95)
+	if s != 2 || hw != 0 {
+		t.Errorf("one pair: %v ± %v, want 2, 0", s, hw)
+	}
+	// Mismatched counts pair the common prefix.
+	d := NewSummedRatios(1)
+	d.AddWindow([]RatioSample{{30, 10}})
+	d.AddWindow([]RatioSample{{30, 10}})
+	d.AddWindow([]RatioSample{{99, 1}})
+	b := NewSummedRatios(1)
+	b.AddWindow([]RatioSample{{30, 20}})
+	b.AddWindow([]RatioSample{{30, 20}})
+	if s, _ := PairedSpeedupCI(d, b, 0.95); s != 2 {
+		t.Errorf("prefix pairing: speedup %v, want 2", s)
+	}
+	// Zero-variance pairs: exact speedup, zero width.
+	if s, hw := PairedSpeedupCI(d2x(2), d2x(4), 0.95); s != 2 || hw != 0 {
+		t.Errorf("zero variance: %v ± %v, want 2, 0", s, hw)
+	}
+}
+
+func d2x(cycles float64) *SummedRatios {
+	u := NewSummedRatios(1)
+	for i := 0; i < 5; i++ {
+		u.AddWindow([]RatioSample{{Y: 8, X: cycles}})
+	}
+	return u
+}
+
+// TestStrata checks the stratified estimator: equal strata reproduce the
+// plain mean, and the variance combines only within-stratum spread.
+func TestStrata(t *testing.T) {
+	s := NewStrata(2)
+	// Stratum 0 around 10, stratum 1 around 20: between-stratum spread is
+	// structural, not sampling noise.
+	for _, x := range []float64{9, 10, 11} {
+		s.Add(0, x)
+	}
+	for _, x := range []float64{19, 20, 21} {
+		s.Add(1, x)
+	}
+	if got := s.Mean(); got != 15 {
+		t.Errorf("stratified mean %v, want 15", got)
+	}
+	// var per stratum = 1, n=3: Variance = (1/4)(1/3 + 1/3) = 1/6.
+	if got, want := s.Variance(), 1.0/6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("stratified variance %v, want %v", got, want)
+	}
+	if s.CI(0.95) <= 0 {
+		t.Error("populated strata with spread must have a positive CI")
+	}
+
+	// One empty stratum is excluded, not averaged in as zero.
+	e := NewStrata(3)
+	e.Add(0, 4)
+	e.Add(1, 6)
+	if got := e.Mean(); got != 5 {
+		t.Errorf("mean with empty stratum %v, want 5", got)
+	}
+	if hw := e.CI(0.95); hw != 0 {
+		t.Errorf("single samples per stratum: CI %v, want 0", hw)
+	}
+}

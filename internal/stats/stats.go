@@ -103,6 +103,403 @@ func (m Mean) CI95() float64 {
 	return 1.96 * m.StdDev() / math.Sqrt(float64(m.n))
 }
 
+// CI returns the half-width of the confidence interval of the mean at the
+// given two-sided confidence level (e.g. 0.95), using the Student t
+// quantile for the sample count — the small-n-honest version of CI95 the
+// sampled-simulation subsystem stops on. Fewer than two samples carry no
+// variance information, so the half-width is 0 by convention; callers that
+// gate on "CI tight enough" must also require a minimum sample count.
+func (m Mean) CI(confidence float64) float64 {
+	if m.n < 2 {
+		return 0
+	}
+	t := TQuantile(1-(1-confidence)/2, int(m.n)-1)
+	return t * m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// RelCI returns CI(confidence) relative to the absolute mean — the
+// "±2% at 95%" form sampling targets are stated in. A zero mean with
+// nonzero spread has no meaningful relative width and reports +Inf.
+func (m Mean) RelCI(confidence float64) float64 {
+	hw := m.CI(confidence)
+	if hw == 0 {
+		return 0
+	}
+	if m.mean == 0 {
+		return math.Inf(1)
+	}
+	return hw / math.Abs(m.mean)
+}
+
+// NormalQuantile returns the standard normal inverse CDF at p (0 < p < 1),
+// via Acklam's rational approximation (relative error below 1.2e-9 —
+// far tighter than any confidence bound reported here needs).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Coefficients for the central and tail rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const low, high = 0.02425, 1 - 0.02425
+	switch {
+	case p < low:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > high:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// TQuantile returns the Student t inverse CDF at p with df degrees of
+// freedom, via the Cornish-Fisher expansion around the normal quantile.
+// Accuracy is ~1e-2 at df 3-4 and a few 1e-3 from df 5 up, for p in the
+// CI-relevant range (0.9..0.995) — plenty for stating an error bar; tiny
+// df (1, 2) use exact closed forms.
+func TQuantile(p float64, df int) float64 {
+	if df <= 0 || math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	switch df {
+	case 1: // Cauchy.
+		return math.Tan(math.Pi * (p - 0.5))
+	case 2:
+		return (2*p - 1) * math.Sqrt(2/(4*p*(1-p)))
+	}
+	z := NormalQuantile(p)
+	v := float64(df)
+	z3, z5, z7 := z*z*z, 0.0, 0.0
+	z5 = z3 * z * z
+	z7 = z5 * z * z
+	g1 := (z3 + z) / 4
+	g2 := (5*z5 + 16*z3 + 3*z) / 96
+	g3 := (3*z7 + 19*z5 + 17*z3 - 15*z) / 384
+	return z + g1/v + g2/(v*v) + g3/(v*v*v)
+}
+
+// RatioSample is one (numerator, denominator) observation — for sampled
+// simulation, one measurement window's (instructions, cycles).
+type RatioSample struct {
+	Y, X float64
+}
+
+// RatioMean is the survey-sampling ratio estimator: it estimates
+// R = ΣY/ΣX from paired samples, with the classical linearized variance
+// over the residuals Y - R·X. This is the right estimator for a
+// throughput that is itself a ratio of totals: the naive mean of
+// per-window Y/X values weights every window equally regardless of how
+// many cycles it spans, which biases the estimate by several percent as
+// soon as windows differ in length; the ratio estimator reproduces the
+// whole-region value exactly when the windows tile the region, and is
+// consistent (bias O(1/n)) on a systematic sample of it.
+type RatioMean struct {
+	samples []RatioSample
+	sy, sx  float64
+}
+
+// Add records one sample.
+func (r *RatioMean) Add(y, x float64) {
+	r.samples = append(r.samples, RatioSample{Y: y, X: x})
+	r.sy += y
+	r.sx += x
+}
+
+// N returns the sample count.
+func (r *RatioMean) N() int { return len(r.samples) }
+
+// Value returns the ratio estimate ΣY/ΣX.
+func (r *RatioMean) Value() float64 {
+	if r.sx == 0 {
+		return 0
+	}
+	return r.sy / r.sx
+}
+
+// CI returns the half-width of the confidence interval on Value at the
+// given two-sided level: t_{n-1} · s_d / (√n · x̄), where d = Y - R·X.
+// Fewer than two samples carry no variance information (half-width 0).
+func (r *RatioMean) CI(confidence float64) float64 {
+	n := len(r.samples)
+	if n < 2 || r.sx == 0 {
+		return 0
+	}
+	R := r.sy / r.sx
+	var ss float64
+	for _, s := range r.samples {
+		d := s.Y - R*s.X
+		ss += d * d
+	}
+	xbar := r.sx / float64(n)
+	sd := math.Sqrt(ss / float64(n-1))
+	return TQuantile(1-(1-confidence)/2, n-1) * sd / (math.Sqrt(float64(n)) * math.Abs(xbar))
+}
+
+// RelCI returns CI relative to the absolute estimate.
+func (r *RatioMean) RelCI(confidence float64) float64 {
+	hw := r.CI(confidence)
+	if hw == 0 {
+		return 0
+	}
+	v := r.Value()
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return hw / math.Abs(v)
+}
+
+// Samples returns the recorded samples (not a copy).
+func (r *RatioMean) Samples() []RatioSample { return r.samples }
+
+// SummedRatios estimates U = Σ_s (ΣY_s / ΣX_s) — a sum of per-series
+// RatioMean estimators sharing the same windows. This is the shape of the
+// simulator's throughput metric: UIPC is the sum over cores of per-core
+// instructions-over-cycles, the windows are common to all cores, and the
+// cores are correlated through the shared memory system — so the variance
+// must be estimated from per-window influences summed *across* series
+// (inside the square), never from series-independent formulas. When the
+// windows tile a region, Value reproduces the region's metric exactly.
+type SummedRatios struct {
+	series []RatioMean
+}
+
+// NewSummedRatios creates an estimator over the given series count (one
+// per core).
+func NewSummedRatios(series int) *SummedRatios {
+	return &SummedRatios{series: make([]RatioMean, series)}
+}
+
+// AddWindow records one window: samples[s] is series s's (Y, X) for this
+// window. len(samples) must equal the series count.
+func (u *SummedRatios) AddWindow(samples []RatioSample) {
+	if len(samples) != len(u.series) {
+		panic(fmt.Sprintf("stats: AddWindow got %d series, estimator has %d", len(samples), len(u.series)))
+	}
+	for s, smp := range samples {
+		u.series[s].Add(smp.Y, smp.X)
+	}
+}
+
+// N returns the window count.
+func (u *SummedRatios) N() int {
+	if len(u.series) == 0 {
+		return 0
+	}
+	return u.series[0].N()
+}
+
+// Value returns Σ_s ΣY_s/ΣX_s over all windows.
+func (u *SummedRatios) Value() float64 {
+	v, _, _ := u.prefix(u.N())
+	return v
+}
+
+// prefix computes the estimate, the per-series ratios and the per-series
+// mean denominators over the first n windows.
+func (u *SummedRatios) prefix(n int) (value float64, ratio, xbar []float64) {
+	ratio = make([]float64, len(u.series))
+	xbar = make([]float64, len(u.series))
+	if n == 0 {
+		return 0, ratio, xbar
+	}
+	for s := range u.series {
+		sy, sx := u.series[s].sy, u.series[s].sx
+		if n < u.series[s].N() {
+			sy, sx = 0, 0
+			for _, smp := range u.series[s].Samples()[:n] {
+				sy += smp.Y
+				sx += smp.X
+			}
+		}
+		xbar[s] = sx / float64(n)
+		if sx != 0 {
+			ratio[s] = sy / sx
+			value += ratio[s]
+		}
+	}
+	return value, ratio, xbar
+}
+
+// influences returns the per-window delta-method influence values over
+// the first n windows: e_j = Σ_s (Y_sj - R_s·X_sj)/x̄_s. They sum to zero
+// by construction; their spread estimates the variance of Value.
+func (u *SummedRatios) influences(n int, ratio, xbar []float64) []float64 {
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var sum float64
+		for s := range u.series {
+			if xbar[s] != 0 {
+				smp := u.series[s].Samples()[j]
+				sum += (smp.Y - ratio[s]*smp.X) / xbar[s]
+			}
+		}
+		e[j] = sum
+	}
+	return e
+}
+
+// CI returns the half-width of the confidence interval on Value at the
+// given two-sided level, via the delta method over per-window influences
+// with a Student t quantile. Fewer than two windows report 0.
+func (u *SummedRatios) CI(confidence float64) float64 {
+	n := u.N()
+	if n < 2 {
+		return 0
+	}
+	_, ratio, xbar := u.prefix(n)
+	var ss float64
+	for _, e := range u.influences(n, ratio, xbar) {
+		ss += e * e
+	}
+	return TQuantile(1-(1-confidence)/2, n-1) * math.Sqrt(ss/float64(n*(n-1)))
+}
+
+// RelCI returns CI relative to the absolute estimate.
+func (u *SummedRatios) RelCI(confidence float64) float64 {
+	hw := u.CI(confidence)
+	if hw == 0 {
+		return 0
+	}
+	v := u.Value()
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return hw / math.Abs(v)
+}
+
+// PairedSpeedupCI estimates the speedup U_design/U_baseline from matched
+// measurement windows — window j of both estimators must cover the same
+// deterministic event range — with a delta-method confidence interval
+// over the per-window relative influence differences. The matching
+// matters: the difference cancels the workload-phase variance both runs
+// share, which is what lets short sampled runs bound a speedup tightly
+// (the SMARTS-style matched-pair comparison). When the two runs measured
+// different window counts (early stopping), the common prefix is paired.
+// Returns (0, 0) with no pairs or a degenerate margin; with one pair the
+// half-width is 0 by the n<2 convention.
+func PairedSpeedupCI(design, baseline *SummedRatios, confidence float64) (speedup, halfWidth float64) {
+	n := design.N()
+	if baseline.N() < n {
+		n = baseline.N()
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	ud, rd, xd := design.prefix(n)
+	ub, rb, xb := baseline.prefix(n)
+	if ud == 0 || ub == 0 {
+		return 0, 0
+	}
+	speedup = ud / ub
+	if n < 2 {
+		return speedup, 0
+	}
+	ed := design.influences(n, rd, xd)
+	eb := baseline.influences(n, rb, xb)
+	var ss float64
+	for j := 0; j < n; j++ {
+		e := ed[j]/ud - eb[j]/ub
+		ss += e * e
+	}
+	relVar := ss / float64(n*(n-1))
+	halfWidth = TQuantile(1-(1-confidence)/2, n-1) * math.Abs(speedup) * math.Sqrt(relVar)
+	return speedup, halfWidth
+}
+
+// Strata is a stratified mean/variance estimator: samples are assigned to
+// a fixed set of independent strata (e.g. one per seed in a cross-seed
+// replication), the estimate is the unweighted mean of the stratum means,
+// and its variance combines the within-stratum variances — never the
+// between-stratum spread, which stratification exists to remove. Strata
+// must be independent for the variance to be honest; correlated strata
+// (cores sharing one memory system) belong in one stratum.
+type Strata struct {
+	strata []Mean
+}
+
+// NewStrata creates an estimator with k strata.
+func NewStrata(k int) *Strata {
+	return &Strata{strata: make([]Mean, k)}
+}
+
+// K returns the stratum count.
+func (s *Strata) K() int { return len(s.strata) }
+
+// Add records one sample in stratum i.
+func (s *Strata) Add(i int, x float64) { s.strata[i].Add(x) }
+
+// Mean returns the unweighted mean of the stratum means; strata that have
+// seen no samples are excluded.
+func (s *Strata) Mean() float64 {
+	sum, k := 0.0, 0
+	for _, m := range s.strata {
+		if m.N() > 0 {
+			sum += m.Value()
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return sum / float64(k)
+}
+
+// Variance returns the variance of Mean: (1/k^2) * sum var_i/n_i over the
+// populated strata.
+func (s *Strata) Variance() float64 {
+	sum, k := 0.0, 0
+	for _, m := range s.strata {
+		if m.N() > 0 {
+			k++
+			if m.N() >= 2 {
+				sum += m.Variance() / float64(m.N())
+			}
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return sum / float64(k*k)
+}
+
+// CI returns the half-width of the confidence interval on Mean at the
+// given level, with degrees of freedom conservatively taken as the
+// smallest populated stratum's n-1.
+func (s *Strata) CI(confidence float64) float64 {
+	df := 0
+	for _, m := range s.strata {
+		if m.N() >= 2 {
+			d := int(m.N()) - 1
+			if df == 0 || d < df {
+				df = d
+			}
+		}
+	}
+	if df == 0 {
+		return 0
+	}
+	return TQuantile(1-(1-confidence)/2, df) * math.Sqrt(s.Variance())
+}
+
 // Histogram is a fixed-bucket histogram over small non-negative integers
 // (footprint densities, burst lengths, way indices).
 type Histogram struct {

@@ -1,0 +1,219 @@
+package unisoncache
+
+import (
+	"fmt"
+	"math"
+
+	"unisoncache/internal/sample"
+	"unisoncache/internal/sim"
+	"unisoncache/internal/stats"
+)
+
+// SampleSpec configures SMARTS-style sampled simulation — the public
+// mirror of internal/sample.Spec, set on Run.Sampling. The zero value
+// disables sampling; a non-zero spec schedules the run as functional
+// warmup followed by short detailed measurement windows separated by
+// functional gaps, estimates UIPC from the per-window samples with a
+// confidence interval (Result.CI), and terminates early once the
+// requested relative CI half-width is reached.
+//
+// Zero fields select defaults (warmup 2/3 — the same boundary the full
+// pipeline uses, so windows subsample the region a full run measures —
+// interval 1000, gap 3x interval, min 4 windows, unlimited max, 95%
+// confidence, ±3% target); negative
+// values mean "explicitly none" where that is meaningful (WarmupFrac,
+// GapEvents, TargetRelCI), mirroring Run.ScaleDivisor's -1 idiom. Use
+// DefaultSampleSpec() to turn sampling on with all defaults.
+type SampleSpec struct {
+	// WarmupFrac is the fraction of AccessesPerCore spent on functional
+	// warmup before the first measurement window (negative: none).
+	WarmupFrac float64
+	// WarmupEvents, when positive, overrides WarmupFrac with an absolute
+	// per-core event count, pinning the window schedule to fixed event
+	// offsets independent of AccessesPerCore — useful when comparing
+	// sampled runs across different budgets, where a fractional warmup
+	// would shift every window.
+	WarmupEvents int
+	// IntervalEvents is the detailed window length in events per core.
+	IntervalEvents int
+	// GapEvents is the functional gap between windows (negative: none —
+	// windows tile back to back).
+	GapEvents int
+	// MinIntervals is the smallest window count before early stop may
+	// trigger; MaxIntervals caps the count (0: as many as fit).
+	MinIntervals int
+	MaxIntervals int
+	// Confidence is the two-sided confidence level (e.g. 0.95).
+	Confidence float64
+	// TargetRelCI is the early-stop target on the relative CI half-width
+	// (e.g. 0.02 for ±2%; negative: never stop early).
+	TargetRelCI float64
+}
+
+// DefaultSampleSpec returns the all-defaults sampling configuration —
+// assign it to Run.Sampling to turn sampling on.
+func DefaultSampleSpec() SampleSpec {
+	return fromInternalSpec(sample.Default())
+}
+
+// ParseSampleSpec reads the flag form of a spec, e.g.
+// "warmup=0.5,interval=1000,gap=1000,min=6,max=0,conf=0.95,ci=0.02" ("on"
+// selects the defaults). See internal/sample.Parse for the grammar.
+func ParseSampleSpec(text string) (SampleSpec, error) {
+	s, err := sample.Parse(text)
+	if err != nil {
+		return SampleSpec{}, fmt.Errorf("unisoncache: %w", err)
+	}
+	// A spec parsed from a flag is meant to sample: canonicalize through
+	// the defaults so even "on" (the zero spec) comes back enabled.
+	return fromInternalSpec(s.WithDefaults()), nil
+}
+
+// Enabled reports whether the spec turns sampling on.
+func (s SampleSpec) Enabled() bool { return s != SampleSpec{} }
+
+// internal converts the public spec into the driver's form.
+func (s SampleSpec) internal() sample.Spec {
+	return sample.Spec{
+		WarmupFrac:     s.WarmupFrac,
+		WarmupEvents:   s.WarmupEvents,
+		IntervalEvents: s.IntervalEvents,
+		GapEvents:      s.GapEvents,
+		MinIntervals:   s.MinIntervals,
+		MaxIntervals:   s.MaxIntervals,
+		Confidence:     s.Confidence,
+		TargetRelCI:    s.TargetRelCI,
+	}
+}
+
+func fromInternalSpec(s sample.Spec) SampleSpec {
+	return SampleSpec{
+		WarmupFrac:     s.WarmupFrac,
+		WarmupEvents:   s.WarmupEvents,
+		IntervalEvents: s.IntervalEvents,
+		GapEvents:      s.GapEvents,
+		MinIntervals:   s.MinIntervals,
+		MaxIntervals:   s.MaxIntervals,
+		Confidence:     s.Confidence,
+		TargetRelCI:    s.TargetRelCI,
+	}
+}
+
+// withDefaults canonicalizes an enabled spec (idempotent).
+func (s SampleSpec) withDefaults() SampleSpec {
+	return fromInternalSpec(s.internal().WithDefaults())
+}
+
+// SampleStats is a sampled run's statistical outcome, carried on
+// Result.CI. The run's Result.UIPC is the sampled estimate (the ratio
+// estimator over the measurement windows); every other Result field
+// covers the whole measured region — first window start to last window
+// end, functional gaps included — so ratio statistics use all
+// post-warmup events.
+type SampleStats struct {
+	// Confidence is the two-sided level HalfWidth is stated at.
+	Confidence float64
+	// UIPC is the sampled estimate (equal to Result.UIPC) and HalfWidth
+	// its confidence-interval half-width.
+	UIPC      float64
+	HalfWidth float64
+	// Converged reports whether the early-stop target was reached.
+	Converged bool
+	// Windows holds one entry per measurement window, in schedule order;
+	// the (Instructions, Cycles) pairs are the estimator's samples, and
+	// the matched-pair speedup CI pairs them across runs.
+	Windows []WindowStat
+	// DetailedEvents counts events simulated inside measurement windows,
+	// across all cores. SimulatedEvents adds the functional warmup and
+	// gaps; FullRunEvents is what the run would have simulated with
+	// sampling off (AccessesPerCore x Cores). FullRunEvents over
+	// DetailedEvents is the sampling reduction; FullRunEvents over
+	// SimulatedEvents is the early-termination wall-clock factor.
+	DetailedEvents  uint64
+	SimulatedEvents uint64
+	FullRunEvents   uint64
+}
+
+// WindowStat is one measurement window's metrics: summed per-core IPC,
+// total retired instructions, the maximum per-core cycle delta, and the
+// per-core deltas the estimator and the matched-pair speedup CI are
+// built from.
+type WindowStat struct {
+	UIPC         float64
+	Instructions uint64
+	Cycles       uint64
+	PerCore      []CoreWindowStat
+}
+
+// CoreWindowStat is one core's share of a measurement window.
+type CoreWindowStat struct {
+	Instructions uint64
+	Cycles       uint64
+}
+
+// RelHalfWidth is HalfWidth relative to the estimate (the ±x% form).
+func (s SampleStats) RelHalfWidth() float64 {
+	if s.HalfWidth == 0 {
+		return 0
+	}
+	if s.UIPC == 0 {
+		return math.Inf(1)
+	}
+	return s.HalfWidth / math.Abs(s.UIPC)
+}
+
+// Low and High are the interval bounds.
+func (s SampleStats) Low() float64  { return s.UIPC - s.HalfWidth }
+func (s SampleStats) High() float64 { return s.UIPC + s.HalfWidth }
+
+// Intervals is the measured window count.
+func (s SampleStats) Intervals() int { return len(s.Windows) }
+
+// summedRatios rebuilds the windowed estimator from the stored per-core
+// samples (for matched-pair speedup CIs).
+func (s SampleStats) summedRatios() *stats.SummedRatios {
+	if len(s.Windows) == 0 || len(s.Windows[0].PerCore) == 0 {
+		return stats.NewSummedRatios(0)
+	}
+	u := stats.NewSummedRatios(len(s.Windows[0].PerCore))
+	row := make([]stats.RatioSample, len(s.Windows[0].PerCore))
+	for _, w := range s.Windows {
+		for c, d := range w.PerCore {
+			row[c] = stats.RatioSample{Y: float64(d.Instructions), X: float64(d.Cycles)}
+		}
+		u.AddWindow(row)
+	}
+	return u
+}
+
+// executeSampled runs the sampled schedule on a prepared machine and
+// assembles the Result (the sampled counterpart of machine.Run in
+// Execute).
+func executeSampled(m *sim.Machine, r Run) (Result, error) {
+	rep, err := sample.Run(m, r.AccessesPerCore, r.Sampling.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Results: rep.Results, Run: r}
+	res.UIPC = rep.UIPC
+	windows := make([]WindowStat, len(rep.Windows))
+	for i, w := range rep.Windows {
+		perCore := make([]CoreWindowStat, len(w.PerCore))
+		for c, d := range w.PerCore {
+			perCore[c] = CoreWindowStat{Instructions: d.Instructions, Cycles: d.Cycles}
+		}
+		windows[i] = WindowStat{UIPC: w.UIPC, Instructions: w.Instructions, Cycles: w.Cycles, PerCore: perCore}
+	}
+	cores := uint64(r.Cores)
+	res.CI = &SampleStats{
+		Confidence:      r.Sampling.withDefaults().Confidence,
+		UIPC:            rep.UIPC,
+		HalfWidth:       rep.HalfWidth,
+		Converged:       rep.Converged,
+		Windows:         windows,
+		DetailedEvents:  uint64(rep.DetailedPerCore) * cores,
+		SimulatedEvents: uint64(rep.ConsumedPerCore) * cores,
+		FullRunEvents:   uint64(r.AccessesPerCore) * cores,
+	}
+	return res, nil
+}

@@ -108,6 +108,15 @@ type Run struct {
 	// ablations) apply freely, so one capture serves a whole design sweep.
 	TracePath string
 
+	// Sampling, when non-zero, switches the run to SMARTS-style sampled
+	// simulation: functional warmup, short detailed measurement windows
+	// with a confidence interval over their UIPC samples (Result.CI),
+	// and adaptive early termination once the spec's CI target holds.
+	// The zero value simulates every event, exactly as before. Replay
+	// runs sample fine — the schedule only ever replays a prefix of the
+	// capture.
+	Sampling SampleSpec `json:",omitzero"`
+
 	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
 	// sweeps 1/4/32).
 	UnisonWays int
@@ -144,6 +153,9 @@ func (r Run) withDefaults() Run {
 	if r.ScaleDivisor == 0 || r.ScaleDivisor == -1 {
 		r.ScaleDivisor = AutoScaleDivisor(r.Capacity)
 	}
+	if r.Sampling.Enabled() {
+		r.Sampling = r.Sampling.withDefaults()
+	}
 	return r
 }
 
@@ -169,6 +181,11 @@ type Result struct {
 	sim.Results
 	// Run echoes the (defaulted) configuration.
 	Run Run
+	// CI carries the confidence-interval statistics of a sampled run
+	// (Run.Sampling non-zero) and is nil for full runs. When set, UIPC
+	// is the sampled estimate over the measurement windows; all other
+	// fields cover the whole measured region, gaps included.
+	CI *SampleStats `json:",omitempty"`
 }
 
 // MissRatioPct is the DRAM cache demand-read miss ratio in percent.
@@ -212,6 +229,9 @@ func Execute(r Run) (Result, error) {
 	machine, err := sim.New(cfg, sources, design, stacked, offchip)
 	if err != nil {
 		return Result{}, err
+	}
+	if r.Sampling.Enabled() {
+		return executeSampled(machine, r)
 	}
 	return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
 }
