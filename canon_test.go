@@ -1,0 +1,148 @@
+package unisoncache
+
+import (
+	"math"
+	"testing"
+)
+
+// The canonicalization wall: the service's content-addressed cache keys
+// stand on runKey (in-plan memoization identity) and baselineRun
+// (baseline collapse), so their algebra is pinned here.
+
+// TestRunKeyIsDefaultedIdentity: runKey is the identity on defaulted
+// runs, and defaulting collapses implicit and explicit defaults onto the
+// same key — the property both the in-plan memoizer and RunKey rely on.
+func TestRunKeyIsDefaultedIdentity(t *testing.T) {
+	implicit := Run{Workload: "web-search", Design: DesignUnison, Capacity: 1 << 30}.withDefaults()
+	explicit := Run{
+		Workload: "web-search", Design: DesignUnison, Capacity: 1 << 30,
+		AccessesPerCore: 400_000, Seed: 1, Cores: 16,
+		UnisonWays: 4, FCWays: 32, ScaleDivisor: AutoScaleDivisor(1 << 30),
+	}.withDefaults()
+	if runKey(implicit) != runKey(explicit) {
+		t.Errorf("implicit and explicit defaults key differently:\n%+v\n%+v", implicit, explicit)
+	}
+	if runKey(implicit) != implicit {
+		t.Error("runKey is not the identity")
+	}
+	// Any stream- or design-shaping difference must change the key.
+	for name, mod := range map[string]func(*Run){
+		"workload": func(r *Run) { r.Workload = "data-serving" },
+		"design":   func(r *Run) { r.Design = DesignAlloy },
+		"capacity": func(r *Run) { r.Capacity = 2 << 30 },
+		"seed":     func(r *Run) { r.Seed = 2 },
+		"ways":     func(r *Run) { r.UnisonWays = 32 },
+		"sampling": func(r *Run) { r.Sampling = DefaultSampleSpec() },
+	} {
+		r := implicit
+		mod(&r)
+		if runKey(r.withDefaults()) == runKey(implicit) {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+}
+
+// TestBaselineRunCanonicalization: every design point over the same
+// workload tuple collapses onto one baseline key, design-only knobs are
+// all reset, and the workload-shaping fields survive untouched.
+func TestBaselineRunCanonicalization(t *testing.T) {
+	base := Run{Workload: "web-search", Capacity: 1 << 30, Seed: 3, Cores: 8,
+		AccessesPerCore: 10_000}.withDefaults()
+
+	variants := []func(*Run){
+		func(r *Run) { r.Design = DesignUnison },
+		func(r *Run) { r.Design = DesignAlloy },
+		func(r *Run) { r.Design = DesignFootprint; r.FCWays = 16 },
+		func(r *Run) { r.Design = DesignUnison; r.UnisonWays = 32 },
+		func(r *Run) { r.Design = DesignUnison; r.DisableWayPrediction = true },
+		func(r *Run) { r.Design = DesignUnison; r.SerializeTagData = true },
+		func(r *Run) { r.Design = DesignUnison; r.DisableSingleton = true },
+	}
+	want := baselineRun(base)
+	for i, mod := range variants {
+		r := base
+		mod(&r)
+		got := baselineRun(r.withDefaults())
+		if got != want {
+			t.Errorf("variant %d: baseline %+v, want the shared %+v", i, got, want)
+		}
+	}
+
+	if want.Design != DesignNone {
+		t.Errorf("baseline design = %q, want %q", want.Design, DesignNone)
+	}
+	if want.UnisonWays != 4 || want.FCWays != 32 ||
+		want.DisableWayPrediction || want.SerializeTagData || want.DisableSingleton {
+		t.Errorf("baseline did not reset all design knobs: %+v", want)
+	}
+	if want.Workload != base.Workload || want.Seed != base.Seed || want.Cores != base.Cores ||
+		want.Capacity != base.Capacity || want.AccessesPerCore != base.AccessesPerCore ||
+		want.ScaleDivisor != base.ScaleDivisor {
+		t.Errorf("baseline disturbed the workload tuple: %+v vs %+v", want, base)
+	}
+	if got := baselineRun(want); got != want {
+		t.Errorf("baselineRun not idempotent: %+v", got)
+	}
+
+	// Sampling and trace replay are part of the tuple: a sampled design
+	// point pairs with a sampled baseline, a replayed one with the same
+	// capture.
+	sampled := base
+	sampled.Sampling = DefaultSampleSpec()
+	if b := baselineRun(sampled.withDefaults()); b.Sampling != sampled.withDefaults().Sampling {
+		t.Error("baseline dropped the sampling spec")
+	}
+	replay := base
+	replay.TracePath = "some.utrace"
+	if b := baselineRun(replay); b.TracePath != "some.utrace" {
+		t.Error("baseline dropped the trace path")
+	}
+}
+
+// TestSpeedupCIArithmetic: Low/High/RelHalfWidth across regular,
+// zero-width, zero-center and negative-center intervals — the degenerate
+// cases the CI-target refinement loop must never misread as converged.
+func TestSpeedupCIArithmetic(t *testing.T) {
+	cases := []struct {
+		name               string
+		ci                 SpeedupCI
+		low, high, relhalf float64
+	}{
+		{"regular", SpeedupCI{Speedup: 1.25, HalfWidth: 0.05}, 1.20, 1.30, 0.04},
+		{"exact", SpeedupCI{Speedup: 2, HalfWidth: 0}, 2, 2, 0},
+		{"zero speedup zero width", SpeedupCI{}, 0, 0, 0},
+		{"zero speedup nonzero width", SpeedupCI{Speedup: 0, HalfWidth: 0.3}, -0.3, 0.3, math.Inf(1)},
+		{"negative speedup", SpeedupCI{Speedup: -2, HalfWidth: 0.5}, -2.5, -1.5, 0.25},
+		{"tiny speedup", SpeedupCI{Speedup: 1e-300, HalfWidth: 1e-3}, -1e-3 + 1e-300, 1e-3 + 1e-300, 1e297},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.ci.Low(); math.Abs(got-tc.low) > 1e-12 {
+				t.Errorf("Low = %v, want %v", got, tc.low)
+			}
+			if got := tc.ci.High(); math.Abs(got-tc.high) > 1e-12 {
+				t.Errorf("High = %v, want %v", got, tc.high)
+			}
+			got := tc.ci.RelHalfWidth()
+			switch {
+			case math.IsInf(tc.relhalf, 1):
+				if !math.IsInf(got, 1) {
+					t.Errorf("RelHalfWidth = %v, want +Inf", got)
+				}
+			case tc.relhalf >= 1e296:
+				if got < 1e296 {
+					t.Errorf("RelHalfWidth = %v, want huge", got)
+				}
+			default:
+				if math.Abs(got-tc.relhalf) > 1e-12 {
+					t.Errorf("RelHalfWidth = %v, want %v", got, tc.relhalf)
+				}
+			}
+			// The refinement loop's invariant: an interval that is not
+			// actually tight never reports a small relative width.
+			if tc.ci.HalfWidth > 0 && got <= 0 {
+				t.Errorf("nonzero interval reported RelHalfWidth %v — a CI target would accept it", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+// Package client is the Go client for the unisonserved simulation
+// service (internal/serve behind cmd/unisonserved): submit Runs and
+// sweeps over HTTP/JSON, follow job progress, and collect results that
+// are bit-identical to calling Execute / ExecuteMany / SpeedupMany /
+// SweepSampled in process — repeat submissions come back from the
+// daemon's content-addressed result cache without re-simulating.
+//
+//	cl := client.New("http://127.0.0.1:8080")
+//	res, err := cl.Execute(ctx, unisoncache.Run{
+//	    Workload: "web-search",
+//	    Design:   unisoncache.DesignUnison,
+//	    Capacity: 1 << 30,
+//	})
+//
+// The high-level calls (Execute, ExecuteMany, SpeedupMany, SweepSampled)
+// submit, wait on the job's NDJSON event stream, and unwrap the results;
+// the low-level Submit/Job/Wait/Cancel surface is exported for callers
+// that manage jobs themselves.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	uc "unisoncache"
+)
+
+// Client talks to one daemon. The zero value is not usable; construct
+// with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). The underlying http.Client carries no global
+// timeout — jobs run for as long as their simulations take; bound
+// individual calls with their contexts.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx daemon response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("unisonserved: %s (status %d)", e.Msg, e.Status)
+}
+
+// do performs one JSON round trip: in (when non-nil) is the request
+// body, out (when non-nil) receives the decoded 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches /metrics and parses the flat exposition into a
+// name → value map (comment lines skipped).
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// SubmitRun submits one Run and returns the job record — already
+// terminal (with Result populated) when the daemon answered from its
+// cache.
+func (c *Client) SubmitRun(ctx context.Context, run uc.Run) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/v1/runs", RunRequest{Run: run}, &j)
+	return j, err
+}
+
+// SubmitSweep submits a point list.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &j)
+	return j, err
+}
+
+// Job fetches one job snapshot.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Cancel cancels a job (queued jobs never execute; a running sweep
+// aborts at its next point) and returns the current snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final snapshot (results included). It follows the NDJSON event stream
+// — no polling while the connection holds — and falls back to polling if
+// the stream drops. The final snapshot is fetched the moment the
+// terminal event arrives; the daemon retains finished jobs for its
+// -job-history depth (1024 by default), so only that many other jobs
+// finishing in between could evict the record first (surfaced as a
+// not-found error, never a silent loss).
+func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
+	for {
+		terminal, err := c.followEvents(ctx, id)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Job{}, ctxErr
+		}
+		if err == nil && terminal {
+			return c.Job(ctx, id)
+		}
+		// Stream ended early or never opened: resnapshot, maybe retry.
+		j, jerr := c.Job(ctx, id)
+		if jerr != nil {
+			return Job{}, jerr
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Job{}, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// followEvents consumes the event stream until a terminal event (true),
+// clean EOF without one (false), or transport error.
+func (c *Client) followEvents(ctx context.Context, id string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, &apiError{Status: resp.StatusCode, Msg: "event stream unavailable"}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return false, nil
+			}
+			return false, err
+		}
+		switch e.State {
+		case StateDone, StateFailed, StateCanceled:
+			return true, nil
+		}
+	}
+}
+
+// await takes a fresh submission's (job, error) pair, waits for the
+// terminal state, and converts failed/canceled jobs into errors.
+func (c *Client) await(ctx context.Context, j Job, err error) (Job, error) {
+	if err != nil {
+		return Job{}, err
+	}
+	if !j.Terminal() {
+		if j, err = c.Wait(ctx, j.ID); err != nil {
+			return Job{}, err
+		}
+	}
+	switch j.State {
+	case StateDone:
+		return j, nil
+	case StateCanceled:
+		return Job{}, fmt.Errorf("unisonserved: job %s canceled", j.ID)
+	default:
+		return Job{}, fmt.Errorf("unisonserved: job %s failed: %s", j.ID, j.Error)
+	}
+}
+
+// Execute runs one simulation through the service.
+func (c *Client) Execute(ctx context.Context, run uc.Run) (uc.Result, error) {
+	j, err := c.SubmitRun(ctx, run)
+	if j, err = c.await(ctx, j, err); err != nil {
+		return uc.Result{}, err
+	}
+	if j.Result == nil {
+		return uc.Result{}, fmt.Errorf("unisonserved: job %s done without a result", j.ID)
+	}
+	return *j.Result, nil
+}
+
+// ExecuteMany is the service-side ExecuteMany: results in point order.
+func (c *Client) ExecuteMany(ctx context.Context, points []uc.Run) ([]uc.Result, error) {
+	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeExecute})
+	if j, err = c.await(ctx, j, err); err != nil {
+		return nil, err
+	}
+	return j.Results, nil
+}
+
+// SpeedupMany is the service-side SpeedupMany: per-point speedups over
+// memoized no-DRAM-cache baselines, in point order.
+func (c *Client) SpeedupMany(ctx context.Context, points []uc.Run) ([]uc.SpeedupResult, error) {
+	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeSpeedup})
+	if j, err = c.await(ctx, j, err); err != nil {
+		return nil, err
+	}
+	return j.Speedups, nil
+}
+
+// SweepSampled is the service-side SweepSampled: a CI-target sampled
+// speedup sweep under spec.
+func (c *Client) SweepSampled(ctx context.Context, points []uc.Run, spec uc.SampleSpec) ([]uc.SpeedupResult, error) {
+	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeSpeedup, Sample: &spec})
+	if j, err = c.await(ctx, j, err); err != nil {
+		return nil, err
+	}
+	return j.Speedups, nil
+}

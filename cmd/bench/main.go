@@ -2,12 +2,15 @@
 // and records the numbers in a JSON trajectory file (BENCH_core.json at the
 // repo root), so every PR measures itself against the ones before it.
 //
-// Two kinds of benchmarks run:
+// Three kinds of benchmarks run:
 //
 //   - Fig7Performance/<design>: one complete Figure 7 simulation per
 //     iteration (the same cell bench_test.go measures), reporting ns/op,
 //     allocs/op, simulated events per second and the headline metrics
 //     (speedup over the no-cache baseline, UIPC).
+//   - ServeCachedRun: one POST /v1/runs round trip against an in-process
+//     simulation daemon, answered from the content-addressed result
+//     cache — the service-overhead / repeat-traffic-throughput datapoint.
 //   - SteadyReplay/unison: the measured-interval hot loop in isolation — a
 //     prewarmed machine replaying events with no setup in the timed
 //     region. Its allocs/op is the zero-allocation contract: the run fails
@@ -26,16 +29,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
 	uc "unisoncache"
+	"unisoncache/client"
 	"unisoncache/internal/core"
 	"unisoncache/internal/dram"
+	"unisoncache/internal/serve"
 	"unisoncache/internal/sim"
 	"unisoncache/internal/trace"
 )
@@ -158,6 +165,55 @@ func main() {
 		fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  %.1fx fewer detailed, ±%.1f%% CI\n",
 			"Fig7Sampled/unison", float64(br.NsPerOp()), events/float64(br.NsPerOp())*1e3, br.AllocsPerOp(),
 			float64(ci.FullRunEvents)/float64(ci.DetailedEvents), 100*ci.RelHalfWidth())
+	}
+
+	// ServeCachedRun: the simulation service's repeat-traffic hot path —
+	// one POST /v1/runs round trip against a local daemon answered
+	// synchronously from the content-addressed result cache (decode,
+	// canonical RunKey hash, LRU lookup, response marshal; zero
+	// simulation in the timed loop). ns/op is the per-request service
+	// overhead and req_per_sec the cached-throughput ceiling.
+	{
+		srv := serve.New(serve.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		cl := client.New(ts.URL)
+		ctx := context.Background()
+		cachedRun := uc.Run{Workload: "data-serving", Design: uc.DesignUnison,
+			Capacity: 1 << 30, AccessesPerCore: accesses}
+		if _, err := cl.Execute(ctx, cachedRun); err != nil {
+			fatal(err)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j, err := cl.SubmitRun(ctx, cachedRun)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !j.Terminal() || j.Result == nil {
+					b.Fatal("cached submission was not served synchronously")
+				}
+			}
+		})
+		hits, err := cl.Metrics(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		rec.Benchmarks["ServeCachedRun"] = Measurement{
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Metrics: map[string]float64{
+				"req_per_sec": 1e9 / float64(br.NsPerOp()),
+				"cache_hits":  hits["unisonserved_cache_hits_total"],
+			},
+		}
+		ts.Close()
+		if err := srv.Drain(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8.0f req/s     %4d allocs/op\n",
+			"ServeCachedRun", float64(br.NsPerOp()), 1e9/float64(br.NsPerOp()), br.AllocsPerOp())
 	}
 
 	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on

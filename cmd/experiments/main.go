@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	uc "unisoncache"
+	"unisoncache/client"
 	"unisoncache/internal/config"
 	"unisoncache/internal/stats"
 )
@@ -37,6 +39,27 @@ type options struct {
 	// other experiment — including the speedup-reporting ablations —
 	// ignores it and runs full-length.
 	sample uc.SampleSpec
+	// srv, when non-nil, routes every simulation through a unisonserved
+	// daemon (-server URL) instead of executing in-process. The service's
+	// determinism contract keeps all CSVs byte-identical to the local
+	// path; repeat invocations hit the daemon's result cache.
+	srv *client.Client
+}
+
+// executeMany runs an ExecuteMany plan locally or through -server.
+func (o options) executeMany(points []uc.Run) ([]uc.Result, error) {
+	if o.srv != nil {
+		return o.srv.ExecuteMany(context.Background(), points)
+	}
+	return uc.ExecuteMany(o.plan(points))
+}
+
+// speedupMany runs a SpeedupMany plan locally or through -server.
+func (o options) speedupMany(points []uc.Run) ([]uc.SpeedupResult, error) {
+	if o.srv != nil {
+		return o.srv.SpeedupMany(context.Background(), points)
+	}
+	return uc.SpeedupMany(o.plan(points))
 }
 
 // plan wraps a point list with the sweep engine's execution policy: the
@@ -94,6 +117,7 @@ func main() {
 	sampleFlag := flag.Bool("sample", false, "sampled simulation for the speedup figures: CI-target sweeps, CI columns in fig7/fig8 CSVs")
 	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
 	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
+	server := flag.String("server", "", "unisonserved base URL (e.g. http://127.0.0.1:8080); route all simulations through the service")
 	flag.Parse()
 
 	if *list {
@@ -102,6 +126,12 @@ func main() {
 	}
 
 	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs}
+	if *server != "" {
+		opt.srv = client.New(*server)
+		if _, err := opt.srv.Health(context.Background()); err != nil {
+			fatal(fmt.Errorf("cannot reach -server %s: %w", *server, err))
+		}
+	}
 	if *sampleFlag || *sampleSpec != "" || *confidence != 0 {
 		opt.sample = uc.DefaultSampleSpec()
 		if *sampleSpec != "" {
@@ -204,12 +234,15 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // speedupResults executes a speedup plan, sampled (CI-target sweep) or
-// full, per the options.
+// full, per the options — locally or through -server.
 func (o options) speedupResults(points []uc.Run) ([]uc.SpeedupResult, error) {
 	if o.sample.Enabled() {
+		if o.srv != nil {
+			return o.srv.SweepSampled(context.Background(), points, o.sample)
+		}
 		return uc.SweepSampled(o.plan(points), o.sample)
 	}
-	return uc.SpeedupMany(o.plan(points))
+	return o.speedupMany(points)
 }
 
 // sampleSummary prints the sampled sweep's event accounting — how many
@@ -289,7 +322,7 @@ func table5(opt options) error {
 			points = append(points, opt.run(w, d, capacity))
 		}
 	}
-	results, err := uc.ExecuteMany(opt.plan(points))
+	results, err := opt.executeMany(points)
 	if err != nil {
 		return err
 	}
@@ -331,7 +364,7 @@ func fig5(opt options) error {
 			UnisonWays: waySweep,
 		}.Points()...)
 	}
-	results, err := uc.ExecuteMany(opt.plan(points))
+	results, err := opt.executeMany(points)
 	if err != nil {
 		return err
 	}
@@ -367,7 +400,7 @@ func fig6(opt options) error {
 			Designs:    designs,
 		}.Points()...)
 	}
-	results, err := uc.ExecuteMany(opt.plan(points))
+	results, err := opt.executeMany(points)
 	if err != nil {
 		return err
 	}

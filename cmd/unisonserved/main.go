@@ -1,0 +1,127 @@
+// Command unisonserved is the simulation daemon: it serves the
+// unisoncache simulation engine over HTTP/JSON with a job scheduler and
+// a content-addressed result cache, so repeated and overlapping sweeps —
+// across clients and across time — execute each distinct configuration
+// once.
+//
+// Usage:
+//
+//	unisonserved -addr :8080
+//	unisonserved -addr 127.0.0.1:8080 -workers 2 -jobs 8 -cache-entries 4096
+//
+// Endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (NDJSON progress), DELETE /v1/jobs/{id},
+// GET /healthz, GET /metrics (Prometheus text).
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
+// 503, accepted jobs run to completion (bounded by -drain-timeout), then
+// the listener closes. Point clients at it with the unisoncache/client
+// package or cmd/experiments -server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unisoncache/internal/serve"
+)
+
+// options is the parsed flag set.
+type options struct {
+	addr         string
+	jobs         int
+	workers      int
+	cacheEntries int
+	drainTimeout time.Duration
+}
+
+// parseFlags reads the daemon's configuration from args.
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("unisonserved", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.jobs, "jobs", 0, "per-sweep concurrent simulations (0 = one per CPU)")
+	fs.IntVar(&o.workers, "workers", 2, "jobs executing concurrently; queued jobs wait FIFO")
+	fs.IntVar(&o.cacheEntries, "cache-entries", 4096, "max results held by the content-addressed cache (LRU)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "how long SIGTERM waits for accepted jobs (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+// newServer builds the service from the options.
+func newServer(o options) *serve.Server {
+	return serve.New(serve.Config{
+		Jobs:         o.jobs,
+		Workers:      o.workers,
+		CacheEntries: o.cacheEntries,
+	})
+}
+
+// run listens, serves until a signal arrives on stop, then drains and
+// shuts down. ready (when non-nil) receives the bound address once the
+// listener is up — tests use it to connect to an ":0" listener.
+func run(o options, stop <-chan os.Signal, ready func(addr string)) error {
+	s := newServer(o)
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "unisonserved: listening on %s (workers %d, cache %d entries)\n",
+		ln.Addr(), o.workers, o.cacheEntries)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "unisonserved: %v: draining (new submissions rejected)\n", sig)
+	}
+
+	drainCtx := context.Background()
+	if o.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, o.drainTimeout)
+		defer cancel()
+	}
+	if err := s.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "unisonserved: drain incomplete: %v\n", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "unisonserved: stopped")
+	return nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(o, stop, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "unisonserved:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	uc "unisoncache"
+	"unisoncache/client"
+)
+
+// TestParseFlags: defaults and rejection of stray arguments.
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.workers != 2 || o.cacheEntries != 4096 || o.jobs != 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-addr", ":0", "stray"}); err == nil {
+		t.Error("stray argument accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on a random port, executes a run
+// through the client, then SIGTERMs it and verifies the graceful stop.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation through the daemon")
+	}
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(o, stop, func(addr string) { addrCh <- addr }) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+	cl := client.New("http://" + addr)
+	ctx := context.Background()
+
+	if h, err := cl.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz = %+v, %v", h, err)
+	}
+	run := uc.Run{Workload: "web-search", Design: uc.DesignUnison,
+		Capacity: 256 << 20, Cores: 2, AccessesPerCore: 2_000}
+	res, err := cl.Execute(ctx, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UIPC <= 0 {
+		t.Errorf("UIPC = %v, want > 0", res.UIPC)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not stop within 30s of SIGTERM")
+	}
+}

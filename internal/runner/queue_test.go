@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueRunsJobsFIFO: one worker executes submissions in order.
+func TestQueueRunsJobsFIFO(t *testing.T) {
+	q := NewQueue(1)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		if err := q.Submit(context.Background(), func(context.Context) {
+			defer wg.Done()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	wg.Wait()
+	q.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want 0..7 in submission order", order)
+		}
+	}
+}
+
+// TestQueueBoundedConcurrency: with 2 workers, at most 2 jobs run at once
+// even with many queued.
+func TestQueueBoundedConcurrency(t *testing.T) {
+	q := NewQueue(2)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		if err := q.Submit(context.Background(), func(context.Context) {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	q.Close()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d, want <= 2", got)
+	}
+}
+
+// TestQueueCanceledWhileQueued: a job whose context is canceled before a
+// worker reaches it still runs, and observes the cancellation — the
+// owner's chance to record a terminal "canceled" state.
+func TestQueueCanceledWhileQueued(t *testing.T) {
+	q := NewQueue(1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if err := q.Submit(context.Background(), func(context.Context) {
+		defer wg.Done()
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var sawCancel atomic.Bool
+	if err := q.Submit(ctx, func(ctx context.Context) {
+		defer wg.Done()
+		sawCancel.Store(ctx.Err() != nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	wg.Wait()
+	q.Close()
+	if !sawCancel.Load() {
+		t.Fatal("second job did not observe its queued-time cancellation")
+	}
+}
+
+// TestQueueDrain: Drain rejects new work, waits for queued + running jobs,
+// and a deadline-limited Drain gives up without losing them.
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue(1)
+	release := make(chan struct{})
+	var ran atomic.Int32
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(context.Background(), func(context.Context) {
+			<-release
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A deadline Drain while jobs are blocked: times out, jobs unharmed.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil while jobs were still blocked")
+	}
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("Submit after Drain = %v, want ErrQueueClosed", err)
+	}
+
+	close(release)
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d jobs, want all 3 accepted before Drain", got)
+	}
+	if q.Len() != 0 || q.Active() != 0 {
+		t.Fatalf("queue not empty after Drain: len=%d active=%d", q.Len(), q.Active())
+	}
+}

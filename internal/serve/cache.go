@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	uc "unisoncache"
+)
+
+// resultCache is the daemon's content-addressed result store: an LRU over
+// canonical run keys (uc.RunKey) with in-flight deduplication. Concurrent
+// do calls for the same key collapse onto one execution — the first
+// caller runs fn, everyone else parks on the flight and shares its
+// outcome — so a burst of identical submissions costs one simulation.
+// Cached Results are shared by reference across callers; they are
+// treated as immutable (the daemon only ever marshals them).
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	order    *list.List // front = MRU; values are *cacheEntry
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	res uc.Result
+}
+
+// flight is one in-progress execution other callers can join.
+type flight struct {
+	done chan struct{}
+	res  uc.Result
+	err  error
+}
+
+// newResultCache bounds the cache at max entries (minimum 1).
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:      max,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// get peeks the cache without joining any in-flight execution (the
+// submit fast path: answer a cached run in one round trip).
+func (c *resultCache) get(key string) (uc.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e)
+		return e.Value.(*cacheEntry).res, true
+	}
+	return uc.Result{}, false
+}
+
+// do returns the result for key, executing fn at most once per key across
+// concurrent callers. hit reports a cache hit (no execution, no waiting);
+// shared reports that the caller joined another caller's in-flight
+// execution. Errors are never cached — the next submission retries.
+func (c *resultCache) do(key string, fn func() (uc.Result, error)) (res uc.Result, hit, shared bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e)
+		res = e.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, false, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.res, false, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: f.res})
+		for c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, false, f.err
+}

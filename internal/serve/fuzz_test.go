@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRunRequest fuzzes the service's request decoders: no input
+// may panic them, and any input they accept must survive a marshal →
+// decode round trip unchanged (acceptance is self-consistent — what the
+// daemon echoes back is resubmittable and means the same thing).
+func FuzzDecodeRunRequest(f *testing.F) {
+	seeds := []string{
+		`{"run":{"Workload":"web-search","Design":"unison","Capacity":1073741824}}`,
+		`{"run":{"Workload":"tpch","Design":"alloy","Capacity":8589934592,"Seed":7,"Cores":16,"AccessesPerCore":400000}}`,
+		`{"run":{"Workload":"data-serving","Design":"footprint","FCWays":16,"ScaleDivisor":-1}}`,
+		`{"run":{"Workload":"web-search","Design":"unison","UnisonWays":32,"DisableWayPrediction":true,"SerializeTagData":true,"DisableSingleton":true}}`,
+		`{"run":{"Workload":"media-streaming","Design":"unison","Sampling":{"IntervalEvents":1000,"GapEvents":3000,"MinIntervals":4,"Confidence":0.95,"TargetRelCI":0.03}}}`,
+		`{"run":{"TracePath":"capture.utrace","Design":"ideal"}}`,
+		`{"run":{"Workload":"no-such-workload"}}`,
+		`{"run":{"Design":"no-such-design"}}`,
+		`{"run":{"Capasity":1}}`,
+		`{"run":{}}`,
+		`{}`,
+		`{"run":{"Workload":"web-search"}} trailing`,
+		`[1,2,3]`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRunRequest(data)
+		if err == nil {
+			blob, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted request does not re-marshal: %v", err)
+			}
+			req2, err := DecodeRunRequest(blob)
+			if err != nil {
+				t.Fatalf("round trip of accepted request rejected: %s: %v", blob, err)
+			}
+			if req.Run != req2.Run {
+				t.Fatalf("round trip changed the run:\n was: %+v\n now: %+v", req.Run, req2.Run)
+			}
+		}
+		// The sweep decoder shares the strict-decoding core; same
+		// properties, minus struct comparability (slice + pointer fields).
+		sreq, err := DecodeSweepRequest(data)
+		if err == nil {
+			blob, err := json.Marshal(sreq)
+			if err != nil {
+				t.Fatalf("accepted sweep does not re-marshal: %v", err)
+			}
+			if _, err := DecodeSweepRequest(blob); err != nil {
+				t.Fatalf("round trip of accepted sweep rejected: %s: %v", blob, err)
+			}
+		}
+	})
+}

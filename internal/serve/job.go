@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	uc "unisoncache"
+	"unisoncache/client"
+)
+
+// job is one submitted request's server-side state. All mutation goes
+// through the setter methods, which notify event subscribers; snapshots
+// are what every HTTP response returns.
+type job struct {
+	id     string
+	kind   string
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	done      int
+	total     int
+	cacheHits int
+	errText   string
+	result    *uc.Result
+	results   []uc.Result
+	speedups  []uc.SpeedupResult
+	subs      map[chan struct{}]struct{}
+}
+
+func newJob(id, kind string, total int, cancel context.CancelFunc) *job {
+	return &job{
+		id:     id,
+		kind:   kind,
+		total:  total,
+		state:  client.StateQueued,
+		cancel: cancel,
+		subs:   make(map[chan struct{}]struct{}),
+	}
+}
+
+// snapshot renders the job as its wire form.
+func (j *job) snapshot() client.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return client.Job{
+		ID:        j.id,
+		Kind:      j.kind,
+		State:     j.state,
+		Done:      j.done,
+		Total:     j.total,
+		CacheHits: j.cacheHits,
+		Error:     j.errText,
+		Result:    j.result,
+		Results:   j.results,
+		Speedups:  j.speedups,
+	}
+}
+
+// subscribe registers for change notifications (coalescing: one pending
+// tick at most). The returned unsubscribe is idempotent.
+func (j *job) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// notifyLocked ticks every subscriber; callers hold j.mu.
+func (j *job) notifyLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // a tick is already pending; the subscriber will resnapshot
+		}
+	}
+}
+
+// terminalLocked reports whether the job already finished; callers hold
+// j.mu. The predicate is the wire type's, so server and clients can
+// never disagree about what terminal means.
+func (j *job) terminalLocked() bool {
+	return client.Job{State: j.state}.Terminal()
+}
+
+// setRunning moves queued → running (a no-op once terminal, e.g. after a
+// queued-time cancellation).
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return
+	}
+	j.state = client.StateRunning
+	j.notifyLocked()
+}
+
+// recordExecution counts one completed run execution (hit: served from
+// the result cache).
+func (j *job) recordExecution(hit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if hit {
+		j.cacheHits++
+	}
+	j.notifyLocked()
+}
+
+// markCanceledIfQueued flips a still-queued job straight to canceled, so
+// canceling queued work takes effect immediately instead of when a
+// worker finally reaches it; running jobs transition through finish once
+// they observe their canceled context.
+func (j *job) markCanceledIfQueued() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != client.StateQueued {
+		return
+	}
+	j.state = client.StateCanceled
+	j.errText = "canceled while queued"
+	j.notifyLocked()
+}
+
+// finish records the terminal state: canceled if the job's context was
+// canceled, failed on err, done otherwise. The results arguments mirror
+// the wire contract (exactly one non-nil on success).
+func (j *job) finish(ctx context.Context, err error, result *uc.Result, results []uc.Result, speedups []uc.SpeedupResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return
+	}
+	switch {
+	case ctx.Err() != nil:
+		j.state = client.StateCanceled
+		j.errText = context.Cause(ctx).Error()
+	case err != nil:
+		j.state = client.StateFailed
+		j.errText = err.Error()
+	default:
+		j.state = client.StateDone
+		j.result = result
+		j.results = results
+		j.speedups = speedups
+	}
+	j.notifyLocked()
+}

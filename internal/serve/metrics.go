@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics is the daemon's counter set, exposed on GET /metrics in the
+// Prometheus text exposition format (flat counters and gauges, no labels,
+// no dependencies).
+type metrics struct {
+	cacheHits     atomic.Uint64 // executions served from the result cache
+	cacheMisses   atomic.Uint64 // executions that actually simulated
+	coalesced     atomic.Uint64 // executions that joined an in-flight one
+	jobsSubmitted atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+}
+
+// handleMetrics renders every counter plus the live gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("unisonserved_cache_hits_total", "Run executions served from the content-addressed result cache.", s.m.cacheHits.Load())
+	counter("unisonserved_cache_misses_total", "Run executions that simulated (cache fill).", s.m.cacheMisses.Load())
+	counter("unisonserved_inflight_coalesced_total", "Run executions deduplicated onto a concurrent identical execution.", s.m.coalesced.Load())
+	counter("unisonserved_jobs_submitted_total", "Jobs accepted by the submit endpoints.", s.m.jobsSubmitted.Load())
+	counter("unisonserved_jobs_done_total", "Jobs that completed successfully.", s.m.jobsDone.Load())
+	counter("unisonserved_jobs_failed_total", "Jobs that ended in an error.", s.m.jobsFailed.Load())
+	counter("unisonserved_jobs_canceled_total", "Jobs canceled before completing.", s.m.jobsCanceled.Load())
+	gauge("unisonserved_cache_entries", "Results currently held by the cache.", uint64(s.cache.len()))
+	gauge("unisonserved_queue_depth", "Jobs waiting for a worker.", uint64(s.queue.Len()))
+	gauge("unisonserved_jobs_active", "Jobs currently executing.", uint64(s.queue.Active()))
+	var draining uint64
+	if s.draining.Load() {
+		draining = 1
+	}
+	gauge("unisonserved_draining", "1 while the daemon is draining for shutdown.", draining)
+}

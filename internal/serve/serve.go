@@ -1,0 +1,500 @@
+// Package serve implements the simulation service behind cmd/unisonserved:
+// an HTTP/JSON API that accepts Run and sweep submissions, schedules them
+// as jobs on a bounded worker pool (internal/runner.Queue), and serves
+// repeat requests from a content-addressed result cache keyed by the
+// canonical run hash (unisoncache.RunKey).
+//
+// The API surface:
+//
+//	POST /v1/runs             submit one Run            → Job
+//	POST /v1/sweeps           submit a point list       → Job
+//	GET  /v1/jobs/{id}        job status + results      → Job
+//	GET  /v1/jobs/{id}/events NDJSON progress stream    → Event lines
+//	DELETE /v1/jobs/{id}      cancel a job              → Job
+//	GET  /healthz             liveness + drain state    → Health
+//	GET  /metrics             Prometheus text counters
+//
+// Determinism contract: every result the service returns is bit-identical
+// to calling Execute / ExecuteMany / SpeedupMany / SweepSampled in
+// process. The cache can only serve a result that some execution of the
+// exact same defaulted configuration produced, runs are pure functions of
+// that configuration, and sweep assembly happens through the public sweep
+// engine itself (the service merely interposes the Plan.Executor hook),
+// so caching and in-flight deduplication are observable in /metrics and
+// latency — never in payload bytes.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	uc "unisoncache"
+	"unisoncache/client"
+	"unisoncache/internal/runner"
+)
+
+// maxRequestBytes bounds submit-request bodies (a 100k-point sweep is
+// ~50 MB of JSON; nobody legitimate sends that).
+const maxRequestBytes = 8 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Jobs is the per-plan worker fan-out each executing sweep uses
+	// (Plan.Jobs; 0 = one worker per CPU).
+	Jobs int
+	// Workers is how many jobs execute concurrently (default 2). Queued
+	// jobs beyond that wait FIFO.
+	Workers int
+	// CacheEntries bounds the content-addressed result cache (default
+	// 4096 results, LRU eviction).
+	CacheEntries int
+	// JobHistory bounds how many finished jobs (and their result
+	// payloads) stay queryable via GET /v1/jobs/{id} (default 1024;
+	// oldest-finished evicted first). Queued and running jobs are never
+	// evicted. Results travel only through the job record, so clients
+	// must collect them before JobHistory other jobs finish — the stock
+	// client fetches immediately on the terminal event, which the
+	// default depth makes safe; a tiny JobHistory under heavy concurrent
+	// traffic can evict a job before a slow client collects it.
+	JobHistory int
+	// Execute overrides the per-run execution function. Nil means
+	// unisoncache.Execute; tests substitute fakes to make caching and
+	// dedup observable without simulating.
+	Execute func(uc.Run) (uc.Result, error)
+}
+
+// Server is the simulation service. Create with New, expose with
+// Handler, shut down with Drain.
+type Server struct {
+	cfg     Config
+	execute func(uc.Run) (uc.Result, error)
+	queue   *runner.Queue
+	cache   *resultCache
+	m       metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job IDs, oldest first (bounded retention)
+	seq      int
+
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	entries := cfg.CacheEntries
+	if entries <= 0 {
+		entries = 4096
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 1024
+	}
+	execute := cfg.Execute
+	if execute == nil {
+		execute = uc.Execute
+	}
+	return &Server{
+		cfg:     cfg,
+		execute: execute,
+		queue:   runner.NewQueue(workers),
+		cache:   newResultCache(entries),
+		jobs:    make(map[string]*job),
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain flips the daemon into shutdown: new submissions are rejected with
+// 503, read endpoints keep answering, and Drain blocks until every
+// accepted job has finished (or ctx expires). Call before closing the
+// HTTP listener so SIGTERM never abandons accepted work.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.queue.Drain(ctx)
+}
+
+// executeRun is the service's single-run execution path: canonical key,
+// cache lookup, in-flight dedup, metrics.
+func (s *Server) executeRun(r uc.Run) (res uc.Result, hit bool, err error) {
+	key, err := uc.RunKey(r)
+	if err != nil {
+		return uc.Result{}, false, err
+	}
+	return s.executeKeyed(key, r)
+}
+
+// executeKeyed is executeRun for a caller that already computed the key
+// (the run-submission path hashes once and reuses it — for replay runs
+// RunKey digests the whole capture file, so recomputing is a full extra
+// read).
+func (s *Server) executeKeyed(key string, r uc.Run) (res uc.Result, hit bool, err error) {
+	res, hit, shared, err := s.cache.do(key, func() (uc.Result, error) {
+		s.m.cacheMisses.Add(1)
+		return s.execute(r)
+	})
+	switch {
+	case hit:
+		s.m.cacheHits.Add(1)
+	case shared:
+		s.m.coalesced.Add(1)
+	}
+	return res, hit || shared, err
+}
+
+// newJobLocked allocates the next job ID; the caller holds s.mu.
+func (s *Server) newJobLocked(kind string, total int, cancel context.CancelFunc) *job {
+	s.seq++
+	j := newJob("j"+strconv.Itoa(s.seq), kind, total, cancel)
+	s.jobs[j.id] = j
+	return j
+}
+
+// admit rejects submissions while draining.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining; not accepting new jobs")
+		return false
+	}
+	return true
+}
+
+// handleSubmitRun accepts one Run. A result already in the cache
+// completes the job synchronously, so a cached submission is a single
+// round trip; otherwise the job is queued.
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req, err := DecodeRunRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	s.mu.Lock()
+	j := s.newJobLocked("run", 1, cancel)
+	s.mu.Unlock()
+	s.m.jobsSubmitted.Add(1)
+
+	run := req.Run
+	// The canonical key is computed once here — for replay runs it
+	// digests the whole capture file — and reused by both the cached
+	// fast path and the queued execution. A key error (unreadable trace)
+	// is carried into the job, which fails with it.
+	key, keyErr := uc.RunKey(run)
+	if keyErr == nil {
+		// Cached fast path: a result the daemon already holds answers
+		// the submission synchronously — one round trip, no queue.
+		if res, ok := s.cache.get(key); ok {
+			s.m.cacheHits.Add(1)
+			j.recordExecution(true)
+			j.finish(ctx, nil, &res, nil, nil)
+			s.countFinished(j)
+			writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+	}
+	work := func(ctx context.Context) {
+		j.setRunning()
+		var result *uc.Result
+		res, hit, err := uc.Result{}, false, ctx.Err()
+		if err == nil {
+			if err = keyErr; err == nil {
+				res, hit, err = s.executeKeyed(key, run)
+			}
+		}
+		if err == nil {
+			j.recordExecution(hit)
+			result = &res
+		}
+		j.finish(ctx, err, result, nil, nil)
+		s.countFinished(j)
+	}
+	s.submit(w, j, ctx, cancel, work)
+}
+
+// submit hands a job to the queue, converting a Submit failure (a race
+// with Drain closing the queue) into a terminal failed job rather than
+// leaving it queued forever with no worker ever to finish it.
+func (s *Server) submit(w http.ResponseWriter, j *job, ctx context.Context, cancel context.CancelFunc, work func(context.Context)) {
+	if err := s.queue.Submit(ctx, work); err != nil {
+		// Finish against a fresh context so the job records the Submit
+		// failure, not a cancellation; then release the job's context.
+		j.finish(context.Background(), err, nil, nil, nil)
+		s.countFinished(j)
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleSubmitSweep accepts an ordered point list and executes it through
+// the public sweep engine with the cache interposed as Plan.Executor.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req, err := DecodeSweepRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	total := len(req.Points)
+	if req.Mode == client.ModeSpeedup {
+		total *= 2 // each point plus its (memoized) baseline — an upper bound
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	s.mu.Lock()
+	j := s.newJobLocked("sweep", total, cancel)
+	s.mu.Unlock()
+	s.m.jobsSubmitted.Add(1)
+
+	work := func(ctx context.Context) {
+		j.setRunning()
+		plan := uc.Plan{
+			Points: req.Points,
+			Jobs:   s.cfg.Jobs,
+			Executor: func(run uc.Run) (uc.Result, error) {
+				if err := ctx.Err(); err != nil {
+					return uc.Result{}, context.Cause(ctx)
+				}
+				res, hit, err := s.executeRun(run)
+				if err == nil {
+					j.recordExecution(hit)
+				}
+				return res, err
+			},
+		}
+		var (
+			results  []uc.Result
+			speedups []uc.SpeedupResult
+			err      error
+		)
+		if ctx.Err() != nil {
+			err = context.Cause(ctx)
+		} else {
+			switch {
+			case req.Sample != nil:
+				speedups, err = uc.SweepSampled(plan, *req.Sample)
+			case req.Mode == client.ModeSpeedup:
+				speedups, err = uc.SpeedupMany(plan)
+			default:
+				results, err = uc.ExecuteMany(plan)
+			}
+		}
+		j.finish(ctx, err, nil, results, speedups)
+		s.countFinished(j)
+	}
+	s.submit(w, j, ctx, cancel, work)
+}
+
+// countFinished bumps the terminal-state counters and retires the job
+// into the bounded history: once more than JobHistory jobs have
+// finished, the oldest-finished ones — with their result payloads — are
+// forgotten, so a long-running daemon's job registry cannot grow without
+// bound. (The result cache keeps serving the underlying runs either
+// way; only the job records age out.)
+func (s *Server) countFinished(j *job) {
+	switch j.snapshot().State {
+	case client.StateDone:
+		s.m.jobsDone.Add(1)
+	case client.StateFailed:
+		s.m.jobsFailed.Add(1)
+	case client.StateCanceled:
+		s.m.jobsCanceled.Add(1)
+	}
+	s.mu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.JobHistory {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// lookupJob resolves {id} or writes 404.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+// handleJob returns the job snapshot (results included once done).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+// handleCancelJob cancels the job's context. A queued job records the
+// cancellation when a worker reaches it; a running sweep aborts at its
+// next point execution.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	j.markCanceledIfQueued()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleEvents streams the job's progress as NDJSON: the current state
+// immediately, a line per change, the terminal line last, then EOF.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	tick, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	for {
+		snap := j.snapshot()
+		if err := enc.Encode(client.Event{State: snap.State, Done: snap.Done, Total: snap.Total, Error: snap.Error}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if snap.Terminal() {
+			return
+		}
+		select {
+		case <-tick:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := client.Health{Status: "ok", Draining: s.draining.Load()}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// DecodeRunRequest strictly decodes a POST /v1/runs body: unknown JSON
+// fields anywhere in the payload fail (Run.UnmarshalJSON), as do unknown
+// designs and — because this is the request boundary, where the daemon's
+// workload registry is authoritative — unknown workloads, all with
+// actionable errors.
+func DecodeRunRequest(data []byte) (client.RunRequest, error) {
+	var req client.RunRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return client.RunRequest{}, fmt.Errorf("run request: %w", err)
+	}
+	if err := req.Run.ValidateNames(); err != nil {
+		return client.RunRequest{}, fmt.Errorf("run request: %w", err)
+	}
+	return req, nil
+}
+
+// DecodeSweepRequest strictly decodes a POST /v1/sweeps body and
+// validates the mode combination and every point's names.
+func DecodeSweepRequest(data []byte) (client.SweepRequest, error) {
+	var req client.SweepRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return client.SweepRequest{}, fmt.Errorf("sweep request: %w", err)
+	}
+	for i, p := range req.Points {
+		if err := p.ValidateNames(); err != nil {
+			return client.SweepRequest{}, fmt.Errorf("sweep request: point %d: %w", i, err)
+		}
+	}
+	switch req.Mode {
+	case "", client.ModeExecute, client.ModeSpeedup:
+	default:
+		return client.SweepRequest{}, fmt.Errorf("sweep request: unknown mode %q (have %q, %q)", req.Mode, client.ModeExecute, client.ModeSpeedup)
+	}
+	if req.Sample != nil && req.Mode != client.ModeSpeedup {
+		return client.SweepRequest{}, fmt.Errorf("sweep request: sample requires mode %q (sampled sweeps are speedup sweeps)", client.ModeSpeedup)
+	}
+	if len(req.Points) == 0 {
+		return client.SweepRequest{}, fmt.Errorf("sweep request: empty points")
+	}
+	return req, nil
+}
+
+// decodeStrict decodes one JSON value rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// readBody reads a size-capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return body, nil
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the error payload.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,68 @@
+package unisoncache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// runJSON mirrors Run field-for-field so UnmarshalJSON can use the stock
+// decoding machinery without recursing into itself. The conversion is
+// checked at compile time by the Run(...) cast below.
+type runJSON Run
+
+// UnmarshalJSON decodes a Run strictly: unknown JSON fields are rejected
+// (a misspelled "Capasity" fails at decode time instead of silently
+// simulating the default), and so are unknown designs — previously a
+// mistyped design only surfaced deep inside buildDesign, after the
+// workload streams had already been built. The design set is static, so
+// this check can never disagree between processes. Workload names are
+// deliberately NOT checked here: they live in a per-process registry, and
+// a decoded Run often arrives inside a *response* (a service Result
+// echoing its Run) from a process with workloads this one never
+// registered — request boundaries validate workloads explicitly with
+// ValidateNames instead. Empty Design/Workload pass: sweeps fill them
+// from the template and trace replays take the capture header's workload.
+func (r *Run) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var a runJSON
+	if err := dec.Decode(&a); err != nil {
+		return fmt.Errorf("unisoncache: decoding Run: %w", err)
+	}
+	run := Run(a)
+	if run.Design != "" && !knownDesign(run.Design) {
+		return fmt.Errorf("unisoncache: unknown design %q (have %v)", run.Design, Designs())
+	}
+	*r = run
+	return nil
+}
+
+// ValidateNames checks the Run's symbolic fields against what this
+// process can actually execute: an unknown design or a workload that is
+// neither built in nor registered fails with the valid choices listed.
+// Zero values pass — defaulting and trace-header reconciliation give
+// them meaning later. The simulation service calls this on every
+// submitted Run, so a mistyped name is rejected at the request boundary
+// instead of failing mid-sweep.
+func (r Run) ValidateNames() error {
+	if r.Design != "" && !knownDesign(r.Design) {
+		return fmt.Errorf("unisoncache: unknown design %q (have %v)", r.Design, Designs())
+	}
+	if r.Workload != "" {
+		if _, ok := lookupProfile(r.Workload); !ok {
+			return fmt.Errorf("unisoncache: unknown workload %q (have %v)", r.Workload, Workloads())
+		}
+	}
+	return nil
+}
+
+// knownDesign reports whether d is one of Designs().
+func knownDesign(d DesignKind) bool {
+	for _, k := range Designs() {
+		if d == k {
+			return true
+		}
+	}
+	return false
+}

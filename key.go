@@ -1,0 +1,71 @@
+package unisoncache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// runKeyVersion is folded into every RunKey so a change to the key
+// discipline (new Run fields, different canonicalization) can never
+// collide with keys minted under the old one.
+const runKeyVersion = "unisoncache/run/v1\n"
+
+// RunKey returns the canonical content-addressed key of a Run: a SHA-256
+// hex digest of the fully-defaulted configuration. Two Runs share a key
+// exactly when Execute is guaranteed to return bit-identical Results for
+// them — the same discipline the sweep engine's in-plan memoization uses
+// (runs are pure functions of their defaulted configuration), extended so
+// the key is stable across processes and safe for replay runs:
+//
+//   - Defaulting first means a zero Seed and an explicit Seed of 1 (etc.)
+//     collapse onto one key, matching what Execute actually simulates.
+//   - For replay runs a SHA-256 digest of the trace file's *content* is
+//     folded in next to TracePath, so editing the capture under an
+//     unchanged path changes the key and a stale cached result can never
+//     be served. The literal path stays part of the key too: Execute
+//     echoes it verbatim in Result.Run, so two paths holding identical
+//     bytes must keep distinct keys for a cached Result to be
+//     bit-identical to executing directly. Reading the file is the only
+//     I/O RunKey performs, and only for replay runs.
+//
+// The simulation service uses RunKey to address its result cache; it is
+// exported so clients can compute cache keys without talking to a daemon.
+// Keys are only meaningful between processes that agree on the meaning of
+// the workload names involved (built-ins always do; registered workloads
+// must be registered identically on both sides).
+func RunKey(r Run) (string, error) {
+	d := r.withDefaults()
+	if d.TracePath != "" {
+		digest, err := fileDigest(d.TracePath)
+		if err != nil {
+			return "", fmt.Errorf("unisoncache: digesting trace for run key: %w", err)
+		}
+		// NUL can appear in neither a JSON-encoded path nor hex, so the
+		// combined field cannot collide with a plain path.
+		d.TracePath = d.TracePath + "\x00sha256:" + digest
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		return "", fmt.Errorf("unisoncache: encoding run for key: %w", err)
+	}
+	sum := sha256.Sum256(append([]byte(runKeyVersion), blob...))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// fileDigest streams the file through SHA-256.
+func fileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -24,30 +24,33 @@ import (
 // values mean "explicitly none" where that is meaningful (WarmupFrac,
 // GapEvents, TargetRelCI), mirroring Run.ScaleDivisor's -1 idiom. Use
 // DefaultSampleSpec() to turn sampling on with all defaults.
+//
+// SampleSpec is part of the service wire format; the JSON field names
+// below are stable.
 type SampleSpec struct {
 	// WarmupFrac is the fraction of AccessesPerCore spent on functional
 	// warmup before the first measurement window (negative: none).
-	WarmupFrac float64
+	WarmupFrac float64 `json:"WarmupFrac"`
 	// WarmupEvents, when positive, overrides WarmupFrac with an absolute
 	// per-core event count, pinning the window schedule to fixed event
 	// offsets independent of AccessesPerCore — useful when comparing
 	// sampled runs across different budgets, where a fractional warmup
 	// would shift every window.
-	WarmupEvents int
+	WarmupEvents int `json:"WarmupEvents"`
 	// IntervalEvents is the detailed window length in events per core.
-	IntervalEvents int
+	IntervalEvents int `json:"IntervalEvents"`
 	// GapEvents is the functional gap between windows (negative: none —
 	// windows tile back to back).
-	GapEvents int
+	GapEvents int `json:"GapEvents"`
 	// MinIntervals is the smallest window count before early stop may
 	// trigger; MaxIntervals caps the count (0: as many as fit).
-	MinIntervals int
-	MaxIntervals int
+	MinIntervals int `json:"MinIntervals"`
+	MaxIntervals int `json:"MaxIntervals"`
 	// Confidence is the two-sided confidence level (e.g. 0.95).
-	Confidence float64
+	Confidence float64 `json:"Confidence"`
 	// TargetRelCI is the early-stop target on the relative CI half-width
 	// (e.g. 0.02 for ±2%; negative: never stop early).
-	TargetRelCI float64
+	TargetRelCI float64 `json:"TargetRelCI"`
 }
 
 // DefaultSampleSpec returns the all-defaults sampling configuration —

@@ -3,6 +3,7 @@ package unisoncache
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"unisoncache/internal/runner"
 	"unisoncache/internal/stats"
@@ -13,16 +14,37 @@ import (
 // because every Run is a pure function of its configuration and seed —
 // they are bit-identical to calling Execute serially over the same list,
 // no matter the worker count.
+//
+// Points and Jobs form the wire-serializable part of a Plan (stable JSON
+// field names); Progress and Executor are process-local policy.
 type Plan struct {
 	// Points are the runs to execute, in result order. Build the list by
 	// hand or expand a Sweep's cross product.
-	Points []Run
+	Points []Run `json:"Points"`
 	// Jobs is the worker-pool size. Zero or negative runs one worker per
 	// schedulable CPU (runtime.GOMAXPROCS).
-	Jobs int
+	Jobs int `json:"Jobs"`
 	// Progress, when non-nil, receives a live completion ticker (pass
 	// os.Stderr; one carriage-return-prefixed line per finished job).
-	Progress io.Writer
+	Progress io.Writer `json:"-"`
+	// Executor, when non-nil, replaces Execute as the function every
+	// defaulted point runs through — the hook the simulation service uses
+	// to interpose its content-addressed result cache (and tests use to
+	// fake execution). The contract is strict: Executor(r) must return
+	// exactly what Execute(r) would — a cached copy is fine, a different
+	// value is not — or sweep results lose their bit-identical guarantee.
+	// Executors must be safe for concurrent calls; in-plan memoization
+	// still applies, so an Executor sees each distinct defaulted
+	// configuration at most once per worker-pool pass.
+	Executor func(Run) (Result, error) `json:"-"`
+}
+
+// exec resolves the plan's point-execution function.
+func (p Plan) exec() func(Run) (Result, error) {
+	if p.Executor != nil {
+		return p.Executor
+	}
+	return Execute
 }
 
 // Sweep declares a cross product of simulation points over a template
@@ -89,7 +111,7 @@ func ExecuteMany(p Plan) ([]Result, error) {
 	for i, r := range p.Points {
 		runs[i] = r.withDefaults()
 	}
-	return runner.MapKeyed(runs, runKey, Execute, runner.Options{Jobs: p.Jobs, Progress: p.Progress})
+	return runner.MapKeyed(runs, runKey, p.exec(), runner.Options{Jobs: p.Jobs, Progress: p.Progress})
 }
 
 // SpeedupResult is one plan point's Speedup outcome.
@@ -128,12 +150,19 @@ type SpeedupCI struct {
 func (c SpeedupCI) Low() float64  { return c.Speedup - c.HalfWidth }
 func (c SpeedupCI) High() float64 { return c.Speedup + c.HalfWidth }
 
-// RelHalfWidth is HalfWidth over the estimate.
+// RelHalfWidth is HalfWidth relative to the estimate (the ±x% form),
+// mirroring SampleStats.RelHalfWidth: a zero interval is relatively zero
+// regardless of the center, a nonzero interval around a zero (or sign-
+// degenerate) center is +Inf — never a value a CI target could mistake
+// for converged — and a negative center measures against its magnitude.
 func (c SpeedupCI) RelHalfWidth() float64 {
-	if c.Speedup == 0 {
+	if c.HalfWidth == 0 {
 		return 0
 	}
-	return c.HalfWidth / c.Speedup
+	if c.Speedup == 0 {
+		return math.Inf(1)
+	}
+	return c.HalfWidth / math.Abs(c.Speedup)
 }
 
 // speedupCI pairs the two runs' measurement windows; nil unless both
@@ -169,7 +198,7 @@ func speedupCI(design, baseline Result) *SpeedupCI {
 // also escalate unconverged points.
 func SpeedupMany(p Plan) ([]SpeedupResult, error) {
 	return speedupMany(p, func(runs []Run) ([]Result, error) {
-		return runner.MapKeyed(runs, runKey, Execute, runner.Options{Jobs: p.Jobs, Progress: p.Progress})
+		return runner.MapKeyed(runs, runKey, p.exec(), runner.Options{Jobs: p.Jobs, Progress: p.Progress})
 	})
 }
 
@@ -243,7 +272,7 @@ func SweepSampled(p Plan, spec SampleSpec) ([]SpeedupResult, error) {
 		target = 0
 	}
 	run := func(points []Run) ([]SpeedupResult, error) {
-		return SpeedupMany(Plan{Points: points, Jobs: p.Jobs, Progress: p.Progress})
+		return SpeedupMany(Plan{Points: points, Jobs: p.Jobs, Progress: p.Progress, Executor: p.Executor})
 	}
 	grow := func(r Run, res SpeedupResult) (Run, bool) {
 		if target <= 0 || res.CI == nil {

@@ -66,22 +66,26 @@ func Designs() []DesignKind {
 }
 
 // Run configures one simulation.
+//
+// Run is part of the service wire format: the JSON field names below are
+// stable, decoding is strict (see UnmarshalJSON), and a fully-defaulted
+// Run canonically hashes to its content-addressed cache key via RunKey.
 type Run struct {
 	// Workload is one of Workloads() — a built-in name or one added with
 	// RegisterWorkload. When replaying a trace (TracePath set) it may be
 	// left empty to take the capture's workload name.
-	Workload string
+	Workload string `json:"Workload"`
 	// Design is the DRAM cache organization under test.
-	Design DesignKind
+	Design DesignKind `json:"Design"`
 	// Capacity is the stacked-DRAM cache capacity in bytes.
-	Capacity uint64
+	Capacity uint64 `json:"Capacity"`
 	// AccessesPerCore is the trace length per core, warmup included
 	// (default 400k; the first WarmupFrac is discarded).
-	AccessesPerCore int
+	AccessesPerCore int `json:"AccessesPerCore"`
 	// Seed makes runs reproducible (default 1).
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 	// Cores overrides the 16-core default.
-	Cores int
+	Cores int `json:"Cores"`
 	// ScaleDivisor applies the proportional-scaling methodology: the
 	// simulated cache capacity and the workload working set are both
 	// divided by this factor, preserving every capacity-to-working-set
@@ -95,7 +99,7 @@ type Run struct {
 	// because the real hardware structures scale with it. Set to 1 for
 	// full-scale simulation (needs very long traces), or -1 for the
 	// automatic choice spelled explicitly.
-	ScaleDivisor int
+	ScaleDivisor int `json:"ScaleDivisor"`
 
 	// TracePath, when non-empty, replays a .utrace capture (written by
 	// RecordTrace or tracegen -record) instead of generating the synthetic
@@ -106,7 +110,7 @@ type Run struct {
 	// frozen events embed the capture-time scaled working set), so keep
 	// Capacity/ScaleDivisor as recorded; design knobs (Design, ways,
 	// ablations) apply freely, so one capture serves a whole design sweep.
-	TracePath string
+	TracePath string `json:"TracePath"`
 
 	// Sampling, when non-zero, switches the run to SMARTS-style sampled
 	// simulation: functional warmup, short detailed measurement windows
@@ -115,18 +119,18 @@ type Run struct {
 	// The zero value simulates every event, exactly as before. Replay
 	// runs sample fine — the schedule only ever replays a prefix of the
 	// capture.
-	Sampling SampleSpec `json:",omitzero"`
+	Sampling SampleSpec `json:"Sampling,omitzero"`
 
 	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
 	// sweeps 1/4/32).
-	UnisonWays int
+	UnisonWays int `json:"UnisonWays"`
 	// Ablations (Unison only).
-	DisableWayPrediction bool
-	SerializeTagData     bool
-	DisableSingleton     bool
+	DisableWayPrediction bool `json:"DisableWayPrediction"`
+	SerializeTagData     bool `json:"SerializeTagData"`
+	DisableSingleton     bool `json:"DisableSingleton"`
 
 	// FCWays overrides Footprint Cache's 32-way associativity.
-	FCWays int
+	FCWays int `json:"FCWays"`
 }
 
 // withDefaults fills zero fields. Trace replays leave the stream-shaped
