@@ -33,6 +33,10 @@ type options struct {
 	workloads []string
 	outDir    string
 	jobs      int
+	// segments, when >= 2, runs every simulation point time-parallel
+	// (Run.Segments). Results — and therefore every CSV — are
+	// byte-identical to serial execution; only wall-clock changes.
+	segments int
 	// sample, when enabled, switches the speedup figures (fig7, fig8) to
 	// SMARTS-style sampled simulation: SweepSampled plans, CI columns
 	// appended to the CSVs, and a detailed-event accounting line. Every
@@ -71,7 +75,7 @@ func (o options) plan(points []uc.Run) uc.Plan {
 // run fills the shared fields every experiment point carries.
 func (o options) run(workload string, design uc.DesignKind, capacity uint64) uc.Run {
 	return uc.Run{Workload: workload, Design: design, Capacity: capacity,
-		AccessesPerCore: o.accesses, Seed: o.seed}
+		AccessesPerCore: o.accesses, Seed: o.seed, Segments: o.segments}
 }
 
 // experiments is the index: every runnable experiment, its paper mapping,
@@ -114,6 +118,7 @@ func main() {
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload filter")
 	out := flag.String("out", "results", "CSV output directory")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = one per CPU)")
+	segments := flag.Int("segments", 0, "time-parallel segments per simulation (0/1 = serial; results are byte-identical either way)")
 	sampleFlag := flag.Bool("sample", false, "sampled simulation for the speedup figures: CI-target sweeps, CI columns in fig7/fig8 CSVs")
 	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
 	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
@@ -125,7 +130,7 @@ func main() {
 		return
 	}
 
-	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs}
+	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs, segments: *segments}
 	if *server != "" {
 		opt.srv = client.New(*server)
 		if _, err := opt.srv.Health(context.Background()); err != nil {

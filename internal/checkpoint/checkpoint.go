@@ -1,0 +1,460 @@
+// Package checkpoint implements versioned, content-addressed snapshots of
+// the complete simulated machine state. A snapshot freezes every stateful
+// subsystem — SRAM cache arrays, predictor tables, DRAM controller timing
+// state, per-core clocks and trace cursors — at a configurable trace offset
+// so a later run can resume from it bit-identically. Snapshots are keyed by
+// (run-key prefix, global step offset) in an in-memory Store, which is what
+// lets related sweep points share warmup and lets time-parallel replay
+// split one run into concurrently simulated segments (DESIGN.md §11).
+//
+// The encoding is a hand-rolled fixed-width little-endian format rather
+// than gob or JSON: the bytes must be deterministic (segment merge compares
+// snapshots byte-for-byte), versioned, and decodable without ever
+// panicking on corrupt input (the fuzz wall's contract).
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Writer serializes machine state into a deterministic byte stream. All
+// integer fields are fixed-width little-endian; errors are sticky so
+// subsystem SaveState methods need no error plumbing — the caller checks
+// Err once after the last section.
+type Writer struct {
+	buf []byte
+	err error
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the encoded payload. Invalid once the Writer is reused.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Err returns the first error recorded with Fail.
+func (w *Writer) Err() error { return w.err }
+
+// Fail records a serialization error; the first one sticks.
+func (w *Writer) Fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a fixed-width 32-bit integer.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a fixed-width 64-bit integer.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 writes a signed 64-bit integer (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Section writes a named marker delimiting one subsystem's state; the
+// Reader validates it, so a snapshot decoded against the wrong subsystem
+// order fails fast instead of silently misinterpreting bytes.
+func (w *Writer) Section(id string) { w.String(id) }
+
+// U8Slice writes a length-prefixed byte slice.
+func (w *Writer) U8Slice(v []uint8) {
+	w.U64(uint64(len(v)))
+	w.buf = append(w.buf, v...)
+}
+
+// U64Slice writes a length-prefixed slice of 64-bit integers.
+func (w *Writer) U64Slice(v []uint64) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+}
+
+// Reader decodes a Writer's byte stream. Errors are sticky: after the
+// first failure every read returns the zero value, and LoadState methods
+// report Err at their end. A Reader never panics on corrupt or truncated
+// input — out-of-bounds reads become errors.
+type Reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewReader wraps an encoded payload.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding error.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records a decoding error; the first one sticks.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.pos }
+
+// Finish reports an error if decoding failed or bytes remain unread (a
+// snapshot must be consumed exactly).
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("checkpoint: %d trailing bytes after final section", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// take returns the next n bytes, failing on truncation.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.Fail(fmt.Errorf("checkpoint: truncated at byte %d (want %d more)", r.pos, n))
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean, rejecting anything but 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail(fmt.Errorf("checkpoint: invalid boolean byte at %d", r.pos-1))
+		return false
+	}
+}
+
+// U32 reads a fixed-width 32-bit integer.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed-width 64-bit integer.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U32()
+	b := r.take(int(n))
+	return string(b)
+}
+
+// Section validates a subsystem marker written by Writer.Section.
+func (r *Reader) Section(id string) {
+	got := r.String()
+	if r.err == nil && got != id {
+		r.Fail(fmt.Errorf("checkpoint: expected section %q, found %q", id, got))
+	}
+}
+
+// U8SliceInto fills dst from a length-prefixed byte slice, failing if the
+// encoded length differs — the geometry check that rejects restoring a
+// snapshot into a differently configured structure.
+func (r *Reader) U8SliceInto(dst []uint8) {
+	n := r.U64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.Fail(fmt.Errorf("checkpoint: slice length %d does not match structure size %d", n, len(dst)))
+		return
+	}
+	copy(dst, r.take(len(dst)))
+}
+
+// U64SliceInto fills dst from a length-prefixed slice of 64-bit integers,
+// failing on a length mismatch.
+func (r *Reader) U64SliceInto(dst []uint64) {
+	n := r.U64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.Fail(fmt.Errorf("checkpoint: slice length %d does not match structure size %d", n, len(dst)))
+		return
+	}
+	if r.Remaining() < 8*len(dst) {
+		r.Fail(fmt.Errorf("checkpoint: truncated slice of %d words", len(dst)))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// Snapshot container format, version 1:
+//
+//	magic    4 bytes  "UCKP"
+//	version  u32      (1)
+//	prefix   u32 length + bytes (run-key prefix the snapshot belongs to)
+//	offset   u64      (global step offset the state was captured at)
+//	payload  u64 length + bytes (Writer stream of all subsystem sections)
+//	sha256  32 bytes  over every preceding byte
+//
+// The trailing digest makes the container content-addressed: any payload
+// corruption — a flipped bit, a truncation, a splice of two snapshots —
+// fails the hash check before a single byte reaches a LoadState method.
+const (
+	// SnapshotVersion is the current container format version.
+	SnapshotVersion = 1
+
+	snapshotMagic = "UCKP"
+	hashLen       = sha256.Size
+	maxPrefixLen  = 4096
+)
+
+// EncodeSnapshot wraps an encoded machine payload in the versioned,
+// hash-trailed container. The result is deterministic: identical
+// (prefix, offset, payload) always produce identical bytes, the property
+// the segment-merge fix-up pass compares on.
+func EncodeSnapshot(prefix string, offset uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(snapshotMagic)+4+4+len(prefix)+8+8+len(payload)+hashLen)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prefix)))
+	buf = append(buf, prefix...)
+	buf = binary.LittleEndian.AppendUint64(buf, offset)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// ReadSnapshot validates and opens a snapshot container, returning its key
+// and payload. Corrupted, truncated or version-skewed input returns an
+// error — never a panic, and never a partially decoded snapshot: the hash
+// over the full container is checked before anything is returned.
+func ReadSnapshot(data []byte) (prefix string, offset uint64, payload []byte, err error) {
+	fixed := len(snapshotMagic) + 4 + 4 + 8 + 8 + hashLen
+	if len(data) < fixed {
+		return "", 0, nil, fmt.Errorf("checkpoint: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return "", 0, nil, fmt.Errorf("checkpoint: not a snapshot (bad magic)")
+	}
+	body, trailer := data[:len(data)-hashLen], data[len(data)-hashLen:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+		return "", 0, nil, fmt.Errorf("checkpoint: snapshot hash mismatch (corrupt or truncated)")
+	}
+	pos := len(snapshotMagic)
+	version := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	if version != SnapshotVersion {
+		return "", 0, nil, fmt.Errorf("checkpoint: unsupported snapshot version %d (have %d)", version, SnapshotVersion)
+	}
+	prefixLen := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	if prefixLen > maxPrefixLen || pos+int(prefixLen)+16 > len(body) {
+		return "", 0, nil, fmt.Errorf("checkpoint: corrupt snapshot header (prefix length %d)", prefixLen)
+	}
+	prefix = string(data[pos : pos+int(prefixLen)])
+	pos += int(prefixLen)
+	offset = binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	payloadLen := binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	if payloadLen != uint64(len(body)-pos) {
+		return "", 0, nil, fmt.Errorf("checkpoint: payload length %d does not match container (%d bytes left)", payloadLen, len(body)-pos)
+	}
+	return prefix, offset, body[pos:], nil
+}
+
+// Key addresses one snapshot in a Store: the run-key prefix (the defaulted
+// Run with sampling and segmentation stripped, so related sweep points
+// share warmup) and the global step offset the state was captured at.
+type Key struct {
+	Prefix string
+	Offset uint64
+}
+
+// Store is a bounded in-memory snapshot cache with LRU eviction by total
+// byte size. It is safe for concurrent use — segment workers read from it
+// while the fix-up pass writes corrections.
+type Store struct {
+	mu       sync.Mutex
+	capBytes int64
+	size     int64
+	items    map[Key]*storeEntry
+	head     *storeEntry // most recently used
+	tail     *storeEntry // least recently used
+}
+
+type storeEntry struct {
+	key        Key
+	data       []byte
+	prev, next *storeEntry
+}
+
+// NewStore creates a store bounded to capBytes of snapshot data.
+func NewStore(capBytes int64) *Store {
+	return &Store{capBytes: capBytes, items: make(map[Key]*storeEntry)}
+}
+
+// Get returns the snapshot stored under (prefix, offset), marking it
+// recently used. The returned bytes are shared — callers must not mutate.
+func (s *Store) Get(prefix string, offset uint64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[Key{Prefix: prefix, Offset: offset}]
+	if !ok {
+		return nil, false
+	}
+	s.moveToFront(e)
+	return e.data, true
+}
+
+// Put stores (or replaces) the snapshot under (prefix, offset), evicting
+// least-recently-used entries to stay within the byte budget. Snapshots
+// larger than the whole budget are not retained.
+func (s *Store) Put(prefix string, offset uint64, data []byte) {
+	if int64(len(data)) > s.capBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{Prefix: prefix, Offset: offset}
+	if e, ok := s.items[k]; ok {
+		s.size += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		s.moveToFront(e)
+	} else {
+		e := &storeEntry{key: k, data: data}
+		s.items[k] = e
+		s.size += int64(len(data))
+		s.pushFront(e)
+	}
+	for s.size > s.capBytes && s.tail != nil {
+		s.removeLocked(s.tail)
+	}
+}
+
+// Len returns the number of stored snapshots.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// SizeBytes returns the total stored snapshot bytes.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Keys returns every stored key in unspecified order.
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]Key, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Reset drops every stored snapshot.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[Key]*storeEntry)
+	s.head, s.tail = nil, nil
+	s.size = 0
+}
+
+func (s *Store) pushFront(e *storeEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) moveToFront(e *storeEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *Store) unlink(e *storeEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.head == e {
+		s.head = e.next
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) removeLocked(e *storeEntry) {
+	s.unlink(e)
+	delete(s.items, e.key)
+	s.size -= int64(len(e.data))
+}

@@ -1,0 +1,233 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip: every primitive survives the codec, and
+// Finish enforces exact consumption.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("test")
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.String("hello")
+	w.U8Slice([]uint8{1, 2, 3})
+	w.U64Slice([]uint64{7, 8})
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+
+	r := NewReader(w.Bytes())
+	r.Section("test")
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	b := make([]uint8, 3)
+	r.U8SliceInto(b)
+	if !bytes.Equal(b, []uint8{1, 2, 3}) {
+		t.Errorf("U8Slice = %v", b)
+	}
+	u := make([]uint64, 2)
+	r.U64SliceInto(u)
+	if u[0] != 7 || u[1] != 8 {
+		t.Errorf("U64Slice = %v", u)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trailing bytes are an error.
+	r2 := NewReader(append(w.Bytes(), 0))
+	r2.Section("test")
+	if err := r2.Finish(); err == nil {
+		t.Error("Finish accepted trailing bytes")
+	}
+}
+
+// TestReaderRejects: wrong section, bad boolean, geometry mismatch and
+// truncation all error without panicking.
+func TestReaderRejects(t *testing.T) {
+	w := NewWriter()
+	w.Section("alpha")
+	r := NewReader(w.Bytes())
+	r.Section("beta")
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "section") {
+		t.Errorf("wrong section not rejected: %v", r.Err())
+	}
+
+	r = NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Error("Bool accepted byte 7")
+	}
+
+	w = NewWriter()
+	w.U8Slice([]uint8{1, 2, 3})
+	r = NewReader(w.Bytes())
+	dst := make([]uint8, 4)
+	r.U8SliceInto(dst)
+	if r.Err() == nil {
+		t.Error("U8SliceInto accepted a length mismatch")
+	}
+
+	r = NewReader([]byte{1, 2})
+	r.U64()
+	if r.Err() == nil {
+		t.Error("truncated U64 not rejected")
+	}
+	// Errors are sticky: further reads keep returning zero values.
+	if r.U32() != 0 || r.U8() != 0 {
+		t.Error("reads after failure returned non-zero")
+	}
+}
+
+// TestSnapshotRoundTrip: the container preserves key and payload exactly
+// and its encoding is deterministic.
+func TestSnapshotRoundTrip(t *testing.T) {
+	payload := []byte("machine state bytes")
+	blob := EncodeSnapshot("prefix-abc", 12345, payload)
+	if !bytes.Equal(blob, EncodeSnapshot("prefix-abc", 12345, payload)) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+	prefix, offset, got, err := ReadSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix != "prefix-abc" || offset != 12345 || !bytes.Equal(got, payload) {
+		t.Errorf("round-trip mismatch: %q %d %q", prefix, offset, got)
+	}
+	// Empty payload and empty prefix are legal.
+	if _, _, _, err := ReadSnapshot(EncodeSnapshot("", 0, nil)); err != nil {
+		t.Errorf("empty snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotRejectsCorruption: every byte flip, every truncation and a
+// version skew must error — the property FuzzReadCheckpoint extends to
+// arbitrary mutations.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	blob := EncodeSnapshot("p", 7, []byte{1, 2, 3, 4})
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, _, _, err := ReadSnapshot(bad); err == nil {
+			t.Errorf("flip at byte %d accepted", i)
+		}
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, _, _, err := ReadSnapshot(blob[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// A spliced container (two snapshots concatenated) fails the hash.
+	if _, _, _, err := ReadSnapshot(append(append([]byte(nil), blob...), blob...)); err == nil {
+		t.Error("spliced snapshot accepted")
+	}
+}
+
+// TestStoreLRU: the byte budget evicts least-recently-used entries, Get
+// refreshes recency, and oversized items are not retained.
+func TestStoreLRU(t *testing.T) {
+	s := NewStore(100)
+	s.Put("a", 1, make([]byte, 40))
+	s.Put("a", 2, make([]byte, 40))
+	if s.Len() != 2 || s.SizeBytes() != 80 {
+		t.Fatalf("Len=%d Size=%d", s.Len(), s.SizeBytes())
+	}
+	// Touch (a,1) so (a,2) is the LRU victim.
+	if _, ok := s.Get("a", 1); !ok {
+		t.Fatal("missing (a,1)")
+	}
+	s.Put("a", 3, make([]byte, 40))
+	if _, ok := s.Get("a", 2); ok {
+		t.Error("(a,2) not evicted")
+	}
+	if _, ok := s.Get("a", 1); !ok {
+		t.Error("(a,1) evicted despite being recently used")
+	}
+	// Replacement updates the size accounting.
+	s.Put("a", 1, make([]byte, 10))
+	if s.SizeBytes() != 50 {
+		t.Errorf("SizeBytes = %d after replacement, want 50", s.SizeBytes())
+	}
+	// Oversized item: rejected outright, store untouched.
+	s.Put("big", 1, make([]byte, 101))
+	if _, ok := s.Get("big", 1); ok {
+		t.Error("oversized item retained")
+	}
+	if got := len(s.Keys()); got != s.Len() {
+		t.Errorf("Keys() returned %d keys, Len() %d", got, s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 || s.SizeBytes() != 0 {
+		t.Error("Reset left entries behind")
+	}
+}
+
+// TestStoreConcurrent exercises the lock under the race detector the way
+// segmented execution does: concurrent readers with a writer putting
+// corrections.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(1 << 20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.Put("p", uint64(i%10), []byte(fmt.Sprint(i)))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s.Get("p", uint64(i%10))
+	}
+	<-done
+}
+
+// FuzzReadCheckpoint is the decode wall's fuzz face: ReadSnapshot must
+// never panic, and any input it accepts must re-encode to exactly the
+// bytes it came from — so no corrupted, truncated or version-skewed
+// container can ever be silently (mis)restored.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := EncodeSnapshot("run-key-prefix", 53332, []byte("payload bytes here"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])       // truncated trailer
+	f.Add(valid[:4])                  // header only
+	f.Add([]byte("UCKPgarbage"))      // magic, junk after
+	f.Add([]byte("NOPE"))             // wrong magic
+	f.Add(EncodeSnapshot("", 0, nil)) // minimal valid
+	skew := append([]byte(nil), valid...)
+	skew[4] = 99 // version field
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prefix, offset, payload, err := ReadSnapshot(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeSnapshot(prefix, offset, payload); !bytes.Equal(re, data) {
+			t.Errorf("accepted container does not re-encode to itself:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

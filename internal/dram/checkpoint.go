@@ -1,0 +1,93 @@
+package dram
+
+import (
+	"fmt"
+
+	"unisoncache/internal/checkpoint"
+)
+
+// SaveState serializes the controller's complete timing state — per-channel
+// bus occupancy, per-rank activate windows, per-bank row/timing registers —
+// plus the access counters. Configuration and the derived timing constants
+// are not serialized; they are owned by construction, and LoadState rejects
+// a snapshot whose channel/rank/bank geometry disagrees.
+func (c *Controller) SaveState(w *checkpoint.Writer) {
+	w.Section("dram")
+	w.U64(uint64(len(c.ch)))
+	for i := range c.ch {
+		ch := &c.ch[i]
+		w.U64(ch.busFreeAt)
+		w.U64(uint64(len(ch.ranks)))
+		for j := range ch.ranks {
+			rk := &ch.ranks[j]
+			w.U64(rk.lastActAt)
+			for _, t := range rk.actWindow {
+				w.U64(t)
+			}
+			w.U32(uint32(rk.actIdx))
+		}
+		w.U64(uint64(len(ch.banks)))
+		for j := range ch.banks {
+			b := &ch.banks[j]
+			w.I64(b.openRow)
+			w.U64(b.actAt)
+			w.U64(b.readyAt)
+			w.U64(b.preOKAt)
+			w.U64(b.nextActAt)
+		}
+	}
+	w.U64(c.stats.Reads)
+	w.U64(c.stats.Writes)
+	w.U64(c.stats.RowHits)
+	w.U64(c.stats.Activations)
+	w.U64(c.stats.BytesRead)
+	w.U64(c.stats.BytesWritten)
+	w.U64(c.stats.BusBusyCPU)
+}
+
+// LoadState restores state saved by SaveState into an identically
+// configured controller.
+func (c *Controller) LoadState(r *checkpoint.Reader) error {
+	r.Section("dram")
+	if n := r.U64(); r.Err() == nil && n != uint64(len(c.ch)) {
+		return fmt.Errorf("dram: snapshot has %d channels, controller has %d", n, len(c.ch))
+	}
+	for i := range c.ch {
+		ch := &c.ch[i]
+		ch.busFreeAt = r.U64()
+		if n := r.U64(); r.Err() == nil && n != uint64(len(ch.ranks)) {
+			return fmt.Errorf("dram: snapshot has %d ranks, channel has %d", n, len(ch.ranks))
+		}
+		for j := range ch.ranks {
+			rk := &ch.ranks[j]
+			rk.lastActAt = r.U64()
+			for k := range rk.actWindow {
+				rk.actWindow[k] = r.U64()
+			}
+			idx := r.U32()
+			if r.Err() == nil && idx >= uint32(len(rk.actWindow)) {
+				return fmt.Errorf("dram: activate-window index %d out of range", idx)
+			}
+			rk.actIdx = int(idx)
+		}
+		if n := r.U64(); r.Err() == nil && n != uint64(len(ch.banks)) {
+			return fmt.Errorf("dram: snapshot has %d banks, channel has %d", n, len(ch.banks))
+		}
+		for j := range ch.banks {
+			b := &ch.banks[j]
+			b.openRow = r.I64()
+			b.actAt = r.U64()
+			b.readyAt = r.U64()
+			b.preOKAt = r.U64()
+			b.nextActAt = r.U64()
+		}
+	}
+	c.stats.Reads = r.U64()
+	c.stats.Writes = r.U64()
+	c.stats.RowHits = r.U64()
+	c.stats.Activations = r.U64()
+	c.stats.BytesRead = r.U64()
+	c.stats.BytesWritten = r.U64()
+	c.stats.BusBusyCPU = r.U64()
+	return r.Err()
+}

@@ -7,6 +7,7 @@
 package dramcache
 
 import (
+	"unisoncache/internal/checkpoint"
 	"unisoncache/internal/mem"
 	"unisoncache/internal/stats"
 )
@@ -47,6 +48,12 @@ type Design interface {
 	// ResetStats zeroes statistics while keeping all cache, predictor and
 	// DRAM state warm (the warmup/measurement boundary).
 	ResetStats()
+	// SaveState serializes the design's complete mutable state — arrays,
+	// predictor tables and counters — into a checkpoint stream.
+	SaveState(*checkpoint.Writer)
+	// LoadState restores state saved by SaveState into an identically
+	// configured design, rejecting geometry mismatches.
+	LoadState(*checkpoint.Reader) error
 }
 
 // Snapshot is the uniform statistics view the experiment harness consumes.

@@ -65,6 +65,47 @@ func TestMapMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestMapFullFanOut pins the contract time-parallel replay builds on:
+// with Jobs == len(points) every point is in flight simultaneously — no
+// hidden throttle — and results still land in point order. Each worker
+// blocks on a barrier that only opens once all of them have started, so
+// any throttling would deadlock (caught by the watchdog) instead of
+// silently serializing the segments.
+func TestMapFullFanOut(t *testing.T) {
+	const n = 9
+	points := make([]int, n)
+	for i := range points {
+		points[i] = i
+	}
+	var started atomic.Int32
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, err := Map(points, func(p int) (int, error) {
+			if started.Add(1) == n {
+				close(release)
+			}
+			<-release
+			return p + 100, nil
+		}, Options{Jobs: n})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, v := range got {
+			if v != i+100 {
+				t.Errorf("result[%d] = %d, want %d", i, v, i+100)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("Map throttled below Jobs=%d: only %d points started", n, started.Load())
+	}
+}
+
 // TestMapKeyedMemoization checks points sharing a key execute exactly
 // once and all receive the shared result — the baseline-dedup contract.
 func TestMapKeyedMemoization(t *testing.T) {

@@ -185,6 +185,57 @@ func TestServeSampledSweepBitIdentical(t *testing.T) {
 	}
 }
 
+// TestServeSegmentedParity: a time-parallel run submitted through the
+// daemon returns Results bit-identical to the serial daemon run. Two
+// segmented passes are exercised — the first populates the boundary
+// snapshots serially, so a second daemon (its result cache empty, the
+// process-wide snapshot store warm) takes the concurrent path.
+func TestServeSegmentedParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	serial := smallRun(uc.DesignUnison)
+	segmented := serial
+	segmented.Segments = 3
+
+	submit := func(s *Server, ts *httptest.Server, run uc.Run) uc.Result {
+		var j client.Job
+		if code := post(t, ts, "/v1/runs", `{"run":`+mustJSON(t, run)+`}`, &j); code != http.StatusAccepted {
+			t.Fatalf("submit status %d", code)
+		}
+		j = waitJob(t, ts, j.ID)
+		if j.State != client.StateDone || j.Result == nil {
+			t.Fatalf("job = %+v, want done with result", j)
+		}
+		return *j.Result
+	}
+
+	s1 := New(Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	defer s1.Drain(context.Background())
+
+	want := submit(s1, ts1, serial)
+	first := submit(s1, ts1, segmented) // snapshot store cold: serial-with-save
+
+	s2 := New(Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Drain(context.Background())
+
+	second := submit(s2, ts2, segmented) // snapshot store warm: concurrent segments
+
+	for name, got := range map[string]uc.Result{"serial-with-save": first, "parallel": second} {
+		if got.Run.Segments != 3 {
+			t.Errorf("%s: echoed Segments = %d, want 3", name, got.Run.Segments)
+		}
+		got.Run.Segments = 0
+		if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+			t.Errorf("%s segmented result diverges from serial\n got: %s\nwant: %s", name, g, w)
+		}
+	}
+}
+
 // TestServeConcurrentDedup: concurrent identical submissions collapse
 // onto one execution; every caller gets the same result.
 func TestServeConcurrentDedup(t *testing.T) {

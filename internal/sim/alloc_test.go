@@ -116,3 +116,44 @@ func TestReplaySteadyStateZeroAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestSegmentedReplaySteadyStateZeroAllocs extends the allocation wall to
+// the chunked cursor segment workers drive: once a run is past its warmup
+// boundary, advancing it RunTo-chunk by RunTo-chunk — exactly what a
+// restored segment does — must allocate nothing. The tournament rebuild at
+// every chunk entry works entirely in preallocated arrays.
+func TestSegmentedReplaySteadyStateZeroAllocs(t *testing.T) {
+	st, err := dram.NewController(dram.StackedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := dram.NewController(dram.OffchipConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]trace.Source, 4)
+	for i := range sources {
+		s, err := trace.NewStream(trace.Profiles()["data-serving"], 5, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = s
+	}
+	design, err := core.New(core.Config{CapacityBytes: 8 << 20, PageBlocks: 15, Ways: 4}, st, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(smallConfig(4), sources, design, st, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginRun(60_000)
+	m.RunTo(m.WarmSteps() + 10_000) // past the boundary, tables warm
+	target := m.WarmSteps() + 10_000
+	if allocs := testing.AllocsPerRun(10, func() {
+		target += 5_000
+		m.RunTo(target)
+	}); allocs != 0 {
+		t.Errorf("steady-state segmented advance allocates %v times per 5k-step chunk, want 0", allocs)
+	}
+}

@@ -85,6 +85,24 @@ type Machine struct {
 	// of log2(cores) node updates per step instead of a full scan.
 	tree   []int32
 	leaves int
+
+	// run is the full-run cursor: BeginRun/RunTo express Run as a resumable
+	// sequence of bounded steps, which is what lets a checkpoint freeze a
+	// run mid-flight and a restored machine continue it bit-identically.
+	run runState
+}
+
+// runState tracks a full run's progress in global steps — events executed
+// across all cores in the one serial min-clock-first schedule. Because
+// every core executes exactly eventsPerCore events within a phase, the
+// warmup/measurement boundary always falls at cores×warm global steps
+// regardless of interleaving, making (phase, step) plus the per-core
+// remaining budgets a complete description of where the schedule stands.
+type runState struct {
+	accesses int    // per-core event budget of the whole run
+	warm     int    // per-core warmup events (accesses × WarmupFrac)
+	phase    uint8  // 0 = not started, 1 = warmup, 2 = measurement
+	step     uint64 // global steps executed so far
 }
 
 // eventBatch is the per-core prefetch depth: how many events a core pulls
@@ -214,16 +232,97 @@ type Results struct {
 }
 
 // Run replays accessesPerCore events on every core (warmup fraction
-// included) and returns measured-interval results.
+// included) and returns measured-interval results. It is the one-shot
+// composition of the resumable cursor: BeginRun, RunTo the end, collect.
 func (m *Machine) Run(accessesPerCore int) Results {
 	if accessesPerCore <= 0 {
 		return Results{}
 	}
-	warm := int(float64(accessesPerCore) * m.cfg.WarmupFrac)
-	m.replay(warm)
-	m.resetForMeasurement()
-	m.replay(accessesPerCore - warm)
+	m.BeginRun(accessesPerCore)
+	return m.FinishRun()
+}
+
+// BeginRun starts a full run of accessesPerCore events per core without
+// executing anything. Advance it with RunTo; finish with FinishRun. The
+// schedule executed is bit-identical to Run's no matter how the global
+// step range is chunked (see continuePhase).
+func (m *Machine) BeginRun(accessesPerCore int) {
+	if accessesPerCore < 0 {
+		accessesPerCore = 0
+	}
+	m.run = runState{
+		accesses: accessesPerCore,
+		warm:     int(float64(accessesPerCore) * m.cfg.WarmupFrac),
+	}
+}
+
+// TotalSteps returns the run's total global step count: every core's full
+// event budget. RunTo targets are global step offsets in [0, TotalSteps].
+func (m *Machine) TotalSteps() uint64 {
+	return uint64(m.run.accesses) * uint64(len(m.cores))
+}
+
+// WarmSteps returns the global step offset of the warmup/measurement
+// boundary. A checkpoint written exactly here captures the post-boundary
+// state (statistics reset, measurement budgets armed), which is what makes
+// the warm snapshot reusable as a sampled run's functional warmup.
+func (m *Machine) WarmSteps() uint64 {
+	return uint64(m.run.warm) * uint64(len(m.cores))
+}
+
+// RunTo advances the run to global step target (clamped to TotalSteps).
+// The warmup/measurement transition is taken eagerly the moment the warm
+// boundary is reached, so the machine state at any given step count is a
+// pure function of the step count — never of how the RunTo calls were
+// chunked — which is the property checkpoint bit-identity rests on.
+func (m *Machine) RunTo(target uint64) {
+	if total := m.TotalSteps(); target > total {
+		target = total
+	}
+	warmSteps := m.WarmSteps()
+	if m.run.phase == 0 {
+		if warmSteps > 0 {
+			for i := range m.remaining {
+				m.remaining[i] = m.run.warm
+			}
+			m.run.phase = 1
+		} else {
+			m.beginMeasurementPhase()
+		}
+	}
+	if m.run.phase == 1 {
+		if m.run.step < warmSteps {
+			bound := target
+			if bound > warmSteps {
+				bound = warmSteps
+			}
+			m.run.step += m.continuePhase(bound - m.run.step)
+		}
+		if m.run.step == warmSteps {
+			m.beginMeasurementPhase()
+		}
+	}
+	if m.run.phase == 2 && m.run.step < target {
+		m.run.step += m.continuePhase(target - m.run.step)
+	}
+}
+
+// FinishRun drives the run to completion and returns the measured-interval
+// results.
+func (m *Machine) FinishRun() Results {
+	m.RunTo(m.TotalSteps())
 	return m.collect()
+}
+
+// beginMeasurementPhase crosses the warmup/measurement boundary: reset
+// statistics, keep state warm, arm the measurement-phase event budgets.
+func (m *Machine) beginMeasurementPhase() {
+	m.resetForMeasurement()
+	meas := m.run.accesses - m.run.warm
+	for i := range m.remaining {
+		m.remaining[i] = meas
+	}
+	m.run.phase = 2
 }
 
 // replay advances cores lowest-clock-first for eventsPerCore events each:
@@ -238,14 +337,28 @@ func (m *Machine) replay(eventsPerCore int) {
 	if eventsPerCore <= 0 {
 		return
 	}
-	remaining := m.remaining
-	for i := range remaining {
-		remaining[i] = eventsPerCore
+	for i := range m.remaining {
+		m.remaining[i] = eventsPerCore
 	}
+	m.continuePhase(^uint64(0))
+}
+
+// continuePhase executes up to budget steps of the current phase's
+// tournament schedule, drawing the per-core demand from m.remaining, and
+// returns the steps executed. The tournament tree is a pure function of
+// the live cores' clocks (exhausted cores sit at +inf), so rebuilding it
+// here from the persisted remaining/clock state resumes the schedule at
+// exactly the step where the previous call — or a restored checkpoint —
+// left off: chunked execution is bit-identical to one uninterrupted loop.
+// Everything it touches is preallocated; the loop allocates nothing.
+func (m *Machine) continuePhase(budget uint64) uint64 {
+	remaining := m.remaining
 	clocks := m.clocks
+	live := 0
 	for i := range clocks {
-		if i < len(m.cores) {
+		if i < len(m.cores) && remaining[i] > 0 {
 			clocks[i] = m.cores[i].clock
+			live++
 		} else {
 			clocks[i] = ^uint64(0)
 		}
@@ -257,10 +370,11 @@ func (m *Machine) replay(eventsPerCore int) {
 	for n := m.leaves - 1; n >= 1; n-- {
 		tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
 	}
-	live := len(m.cores)
-	for live > 0 {
+	var steps uint64
+	for live > 0 && steps < budget {
 		best := int(tree[1])
 		m.step(best, remaining[best])
+		steps++
 		if remaining[best]--; remaining[best] == 0 {
 			clocks[best] = ^uint64(0)
 			live--
@@ -272,6 +386,7 @@ func (m *Machine) replay(eventsPerCore int) {
 			tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
 		}
 	}
+	return steps
 }
 
 // matchWinner plays one tournament match. The left child always covers

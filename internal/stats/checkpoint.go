@@ -1,0 +1,19 @@
+package stats
+
+import "unisoncache/internal/checkpoint"
+
+// SaveState serializes the histogram's counts into a checkpoint stream.
+func (h *Histogram) SaveState(w *checkpoint.Writer) {
+	w.U64Slice(h.buckets)
+	w.U64(h.total)
+	w.U64(h.sum)
+}
+
+// LoadState restores counts saved by SaveState into a histogram of the
+// same bucket range; a range mismatch is rejected as a geometry error.
+func (h *Histogram) LoadState(r *checkpoint.Reader) error {
+	r.U64SliceInto(h.buckets)
+	h.total = r.U64()
+	h.sum = r.U64()
+	return r.Err()
+}

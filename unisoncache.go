@@ -121,6 +121,18 @@ type Run struct {
 	// capture.
 	Sampling SampleSpec `json:"Sampling,omitzero"`
 
+	// Segments, when >= 2, executes the run time-parallel: the replay is
+	// split into that many segments, simulated concurrently from
+	// checkpointed start states and merged with a deterministic fix-up
+	// pass (DESIGN.md §11). Results are bit-identical to the serial run —
+	// the first execution of a configuration simulates serially while
+	// writing the segment checkpoints, and repeat executions (the sweep
+	// refinement pattern, result-cache misses on design variants) run all
+	// segments concurrently. 0 and 1 both mean serial. A sampled run
+	// (Sampling set) instead uses the segment store's warm-boundary
+	// snapshot to skip its functional warmup when one is available.
+	Segments int `json:"Segments"`
+
 	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
 	// sweeps 1/4/32).
 	UnisonWays int `json:"UnisonWays"`
@@ -198,26 +210,60 @@ func (r Result) MissRatioPct() float64 { return r.Design.MissRatioPct() }
 // Execute runs one simulation to completion. The event streams come from
 // the workload's synthetic generator, or — when Run.TracePath is set — from
 // a .utrace capture, which reproduces the recorded run bit-identically.
+// With Run.Segments >= 2 the replay executes time-parallel (see Segments);
+// the Results are bit-identical either way.
 func Execute(r Run) (Result, error) {
 	r = r.withDefaults()
 	if r.ScaleDivisor < 1 {
 		return Result{}, fmt.Errorf("unisoncache: ScaleDivisor must be >= 1, got %d", r.ScaleDivisor)
 	}
-	r, sources, err := r.sources()
+	if r.Segments < 0 || r.Segments > maxSegments {
+		return Result{}, fmt.Errorf("unisoncache: Segments must be in [0, %d], got %d", maxSegments, r.Segments)
+	}
+	if r.Sampling.Enabled() {
+		if r.Segments > 1 {
+			if res, ok := executeSampledWarm(r); ok {
+				return res, nil
+			}
+		}
+		machine, r, err := newMachine(r)
+		if err != nil {
+			return Result{}, err
+		}
+		return executeSampled(machine, r)
+	}
+	if r.Segments > 1 {
+		return executeSegmented(r)
+	}
+	machine, r, err := newMachine(r)
 	if err != nil {
 		return Result{}, err
+	}
+	return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
+}
+
+// newMachine builds the complete simulated system a defaulted Run
+// describes — event sources, DRAM controllers, the design under test and
+// the core/cache machine — and returns the Run with trace-header
+// reconciliation applied. Machines for the same Run are interchangeable:
+// construction is deterministic, which is what lets segment workers build
+// private machines and restore checkpoints into them.
+func newMachine(r Run) (*sim.Machine, Run, error) {
+	r, sources, err := r.sources()
+	if err != nil {
+		return nil, Run{}, err
 	}
 	stacked, err := dram.NewController(dram.StackedConfig())
 	if err != nil {
-		return Result{}, err
+		return nil, Run{}, err
 	}
 	offchip, err := dram.NewController(dram.OffchipConfig())
 	if err != nil {
-		return Result{}, err
+		return nil, Run{}, err
 	}
 	design, err := buildDesign(r, stacked, offchip)
 	if err != nil {
-		return Result{}, err
+		return nil, Run{}, err
 	}
 	cfg := sim.Default()
 	cfg.Cores = r.Cores
@@ -232,12 +278,9 @@ func Execute(r Run) (Result, error) {
 	}
 	machine, err := sim.New(cfg, sources, design, stacked, offchip)
 	if err != nil {
-		return Result{}, err
+		return nil, Run{}, err
 	}
-	if r.Sampling.Enabled() {
-		return executeSampled(machine, r)
-	}
-	return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
+	return machine, r, nil
 }
 
 // buildDesign constructs the requested design over the DRAM parts. The
