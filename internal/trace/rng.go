@@ -21,7 +21,10 @@
 // traces.
 package trace
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // RNG is a splitmix64 pseudo-random generator: tiny state, high quality,
 // fully deterministic across platforms.
@@ -86,6 +89,85 @@ func (r *RNG) geometricDenom(denom float64) int {
 	u := r.Float64()
 	// Inverse CDF of the geometric distribution on {0,1,...}.
 	return int(math.Floor(math.Log1p(-u) / denom))
+}
+
+// geomTableBits sizes the quantile table: 2^14 buckets over the uniform
+// sample keeps the exact-formula fallback under ~5% even for the widest
+// profile gap means, and under 1% for typical ones.
+const geomTableBits = 14
+
+// geomSlow marks a bucket whose samples must take the exact log1p path.
+const geomSlow = int16(-1)
+
+// geomTable is a vectorization of geometricDenom: the inverse CDF is a
+// step function of the 53-bit uniform sample, so its value is precomputed
+// per bucket of the sample's top geomTableBits bits. A bucket entry is
+// only trusted when the quotient log1p(-u)/denom stays strictly inside one
+// integer cell across the whole bucket with a safety margin of 1e-9 —
+// about four orders of magnitude wider than the worst-case rounding error
+// of the quotient — so no monotonicity or correct-rounding assumption
+// about math.Log1p is needed; every bucket that contains (or merely comes
+// near) a step boundary falls back to the exact formula. Sampling through
+// the table is therefore bit-identical to geometricDenom by construction.
+type geomTable struct {
+	denom float64
+	vals  [1 << geomTableBits]int16
+}
+
+// newGeomTable builds the quantile table for a nonzero denom.
+func newGeomTable(denom float64) *geomTable {
+	t := &geomTable{denom: denom}
+	const shift = 53 - geomTableBits
+	const margin = 1e-9
+	for i := range t.vals {
+		wLo := uint64(i) << shift
+		wHi := wLo + (1<<shift - 1)
+		qLo := math.Log1p(-float64(wLo)/(1<<53)) / denom
+		qHi := math.Log1p(-float64(wHi)/(1<<53)) / denom
+		k := math.Floor(qLo)
+		t.vals[i] = geomSlow
+		if k == math.Floor(qHi) && qLo-k >= margin && k+1-qHi >= margin &&
+			k >= 0 && k <= float64(math.MaxInt16) {
+			t.vals[i] = int16(k)
+		}
+	}
+	return t
+}
+
+// geomTables shares quantile tables across streams: the table depends only
+// on the denominator, which depends only on the profile, so every core's
+// stream of a run (and every run of a sweep) reuses one 32 KB table per
+// distinct (gap|repeat) mean.
+var geomTables sync.Map // math.Float64bits(denom) -> *geomTable
+
+// geomTableFor returns the shared table for denom, or nil for the zero
+// (mean <= 0) sentinel, building and caching it on first use.
+func geomTableFor(denom float64) *geomTable {
+	if denom == 0 {
+		return nil
+	}
+	key := math.Float64bits(denom)
+	if v, ok := geomTables.Load(key); ok {
+		return v.(*geomTable)
+	}
+	v, _ := geomTables.LoadOrStore(key, newGeomTable(denom))
+	return v.(*geomTable)
+}
+
+// geometricTab samples the same distribution, consuming the same single
+// Uint64 and returning the same value, as geometricDenom(t.denom) — but
+// through the precomputed quantile table, skipping the transcendental call
+// for the vast majority of draws. A nil table is the mean-<=-0 sentinel.
+func (r *RNG) geometricTab(t *geomTable) int {
+	if t == nil {
+		return 0
+	}
+	w := r.Uint64() >> 11 // the exact 53-bit sample Float64 would use
+	if v := t.vals[w>>(53-geomTableBits)]; v >= 0 {
+		return int(v)
+	}
+	u := float64(w) / (1 << 53)
+	return int(math.Floor(math.Log1p(-u) / t.denom))
 }
 
 // Zipf samples ranks in [0, N) under a Zipf-like power law with exponent

@@ -28,11 +28,11 @@ type Stream struct {
 	zipfPC *Zipf
 	perm   *Perm
 
-	// Precomputed geometric-distribution denominators (see RNG.Geometric):
-	// the log1p(-p) term depends only on the profile, so hoisting it out of
-	// the per-event sampling path removes one of the two transcendental
-	// calls per sample without changing a single emitted bit.
-	gapDenom, repeatDenom float64
+	// Precomputed geometric quantile tables (see geomTable): the
+	// distribution depends only on the profile, so the per-event sampling
+	// path reduces to one table lookup for almost every draw — with the
+	// exact log1p fallback guaranteeing bit-identical values.
+	gapTab, repeatTab *geomTable
 
 	// Current visit replay state.
 	pending []Event
@@ -51,14 +51,14 @@ func NewStream(p *Profile, baseSeed uint64, core int) (*Stream, error) {
 		return nil, err
 	}
 	return &Stream{
-		prof:        p,
-		rng:         NewRNG(baseSeed*0x9e3779b97f4a7c15 + uint64(core)*0x100000001b3 + 1),
-		zipfR:       NewZipf(p.Regions(), p.ZipfTheta),
-		zipfPC:      NewZipf(uint64(p.PCs), p.PCZipfTheta),
-		perm:        NewPerm(p.Regions(), baseSeed),
-		gapDenom:    geomDenom(p.GapMean),
-		repeatDenom: geomDenom(p.RepeatMean),
-		pending:     make([]Event, 0, pendingCap),
+		prof:      p,
+		rng:       NewRNG(baseSeed*0x9e3779b97f4a7c15 + uint64(core)*0x100000001b3 + 1),
+		zipfR:     NewZipf(p.Regions(), p.ZipfTheta),
+		zipfPC:    NewZipf(uint64(p.PCs), p.PCZipfTheta),
+		perm:      NewPerm(p.Regions(), baseSeed),
+		gapTab:    geomTableFor(geomDenom(p.GapMean)),
+		repeatTab: geomTableFor(geomDenom(p.RepeatMean)),
+		pending:   make([]Event, 0, pendingCap),
 	}, nil
 }
 
@@ -283,10 +283,10 @@ func (s *Stream) generateVisit() {
 			continue
 		}
 		addr := mem.BlockAddr(regionBase + uint64(b))
-		repeats := 1 + s.rng.geometricDenom(s.repeatDenom)
+		repeats := 1 + s.rng.geometricTab(s.repeatTab)
 		for rep := 0; rep < repeats; rep++ {
 			s.pending = append(s.pending, Event{
-				Gap:   uint32(s.rng.geometricDenom(s.gapDenom)),
+				Gap:   uint32(s.rng.geometricTab(s.gapTab)),
 				Addr:  addr,
 				PC:    pc,
 				Write: s.rng.Bernoulli(s.prof.WriteFrac),
@@ -357,10 +357,10 @@ func (s *Stream) emitRange(region uint64, lo, hi int, pc uint64) {
 	regionBase := region * RegionBlocks
 	for b := lo; b < hi; b++ {
 		addr := mem.BlockAddr(regionBase + uint64(b))
-		repeats := 1 + s.rng.geometricDenom(s.repeatDenom)
+		repeats := 1 + s.rng.geometricTab(s.repeatTab)
 		for rep := 0; rep < repeats; rep++ {
 			s.pending = append(s.pending, Event{
-				Gap:   uint32(s.rng.geometricDenom(s.gapDenom)),
+				Gap:   uint32(s.rng.geometricTab(s.gapTab)),
 				Addr:  addr,
 				PC:    pc,
 				Write: s.rng.Bernoulli(s.prof.WriteFrac),
