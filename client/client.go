@@ -22,14 +22,27 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	uc "unisoncache"
+)
+
+// Retry defaults: up to defaultRetries additional attempts after a
+// transient connect failure, exponential backoff from defaultRetryBase
+// with ±50% jitter so a burst of clients retrying a recovering daemon
+// does not stampede in lockstep.
+const (
+	defaultRetries   = 3
+	defaultRetryBase = 100 * time.Millisecond
 )
 
 // Client talks to one daemon. The zero value is not usable; construct
@@ -37,14 +50,120 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Header entries (when non-nil) are added to every request. The
+	// daemon's cluster layer uses this to mark proxied peer traffic;
+	// callers can use it for auth or tracing headers.
+	Header http.Header
+
+	// MaxRetries caps the additional attempts made after a transient
+	// connect error (connection refused/reset, dial timeout — failures
+	// where the daemon never saw the request). 0 means the default (3);
+	// negative disables retrying. Responses from the daemon, of any
+	// status, are never retried here.
+	MaxRetries int
+	// RetryBackoff is the first retry's base delay, doubling per attempt
+	// with jitter. 0 means the default (100ms).
+	RetryBackoff time.Duration
 }
 
 // New builds a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:8080"). The underlying http.Client carries no global
-// timeout — jobs run for as long as their simulations take; bound
-// individual calls with their contexts.
+// "http://127.0.0.1:8080"). The transport carries dial, TLS-handshake and
+// response-header timeouts so a black-holed daemon fails the call in
+// seconds instead of stalling forever — but deliberately no global
+// request timeout: jobs run for as long as their simulations take, and
+// the NDJSON wait path holds one response open for the whole job. Bound
+// individual calls with their contexts. Transient connect errors retry
+// with jittered exponential backoff (see MaxRetries).
 func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc: &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   5 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				TLSHandshakeTimeout: 5 * time.Second,
+				// Every endpoint writes its headers immediately — even the
+				// events stream flushes the current state first — so waiting
+				// longer than this means the daemon is wedged, not working.
+				ResponseHeaderTimeout: 60 * time.Second,
+				MaxIdleConnsPerHost:   16,
+				IdleConnTimeout:       90 * time.Second,
+			},
+		},
+	}
+}
+
+// URL returns the daemon base URL the client talks to.
+func (c *Client) URL() string { return c.base }
+
+// send performs one HTTP round trip with the shared request policy:
+// per-client headers applied, and transient connect errors retried with
+// jittered exponential backoff. Reaching the daemon ends retrying — a
+// received response is returned whatever its status, so a non-idempotent
+// submit is never replayed after the daemon accepted it.
+func (c *Client) send(req *http.Request) (*http.Response, error) {
+	for k, vs := range c.Header {
+		req.Header[k] = append([]string(nil), vs...)
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = defaultRetries
+	}
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		r := req
+		if attempt > 0 {
+			// Do closes the request body even on connect failure; rebuild
+			// it for the retry (NewRequestWithContext fills GetBody for
+			// the in-memory readers every call here uses).
+			r = req.Clone(req.Context())
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, err
+				}
+				r.Body = body
+			}
+		}
+		resp, err := c.hc.Do(r)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= retries || !transientConnectError(err) || req.Context().Err() != nil {
+			return nil, lastErr
+		}
+		// Jittered exponential backoff: base << attempt, scaled by a
+		// uniform factor in [0.5, 1.5).
+		delay := time.Duration(float64(base<<attempt) * (0.5 + rand.Float64()))
+		select {
+		case <-req.Context().Done():
+			return nil, lastErr
+		case <-time.After(delay):
+		}
+	}
+}
+
+// transientConnectError reports whether err is a connect-level failure
+// worth retrying: the request never reached a daemon, so replaying it is
+// safe. Timeouts on an established exchange (a genuinely wedged daemon)
+// and every delivered response are not retried.
+func transientConnectError(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) && opErr.Op == "dial" {
+		return true
+	}
+	return false
 }
 
 // apiError is a non-2xx daemon response.
@@ -75,7 +194,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return err
 	}
@@ -113,7 +232,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +261,22 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 		out[name] = v
 	}
 	return out, nil
+}
+
+// LookupResult fetches a cached result by run key from the daemon's
+// result cache and store — a pure lookup that never triggers execution.
+// ok=false means the daemon doesn't have it (HTTP 404).
+func (c *Client) LookupResult(ctx context.Context, key string) (uc.Result, bool, error) {
+	var res uc.Result
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+key, nil, &res)
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return uc.Result{}, false, nil
+		}
+		return uc.Result{}, false, err
+	}
+	return res, true, nil
 }
 
 // SubmitRun submits one Run and returns the job record — already
@@ -215,7 +350,7 @@ func (c *Client) followEvents(ctx context.Context, id string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return false, err
 	}

@@ -39,9 +39,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	uc "unisoncache"
@@ -331,6 +333,83 @@ func main() {
 		}
 		fmt.Printf("%-28s %12.0f ns/op  %8.0f req/s     %4d allocs/op\n",
 			"ServeCachedRun", float64(br.NsPerOp()), 1e9/float64(br.NsPerOp()), br.AllocsPerOp())
+	}
+
+	// ClusterCachedRun: the same repeat-traffic datapoint through a
+	// 3-member consistent-hash cluster — client-side RunKey hashing and
+	// ring routing, then one POST answered synchronously from the owning
+	// daemon's cache. The delta over ServeCachedRun is the whole cost of
+	// clustering on the cached hot path.
+	{
+		const members = 3
+		ctx := context.Background()
+		handlers := make([]*atomic.Value, members)
+		tss := make([]*httptest.Server, members)
+		urls := make([]string, members)
+		for i := range tss {
+			h := &atomic.Value{}
+			handlers[i] = h
+			tss[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if hh, _ := h.Load().(http.Handler); hh != nil {
+					hh.ServeHTTP(w, r)
+					return
+				}
+				http.Error(w, "starting", http.StatusServiceUnavailable)
+			}))
+			urls[i] = tss[i].URL
+		}
+		servers := make([]*serve.Server, members)
+		for i := range servers {
+			servers[i] = serve.New(serve.Config{Self: urls[i], Peers: urls})
+			handlers[i].Store(servers[i].Handler())
+		}
+		cl, err := client.NewCluster(urls)
+		if err != nil {
+			fatal(err)
+		}
+		cachedRun := uc.Run{Workload: "data-serving", Design: uc.DesignUnison,
+			Capacity: 1 << 30, AccessesPerCore: accesses}
+		if _, err := cl.Execute(ctx, cachedRun); err != nil {
+			fatal(err)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Execute(ctx, cachedRun)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.UIPC <= 0 {
+					b.Fatal("cluster hit returned junk")
+				}
+			}
+		})
+		var hits float64
+		for _, u := range urls {
+			m, err := cl.Node(u).Metrics(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			hits += m["unisonserved_cache_hits_total"]
+		}
+		rec.Benchmarks["ClusterCachedRun"] = Measurement{
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Metrics: map[string]float64{
+				"req_per_sec": 1e9 / float64(br.NsPerOp()),
+				"cache_hits":  hits,
+				"members":     members,
+			},
+		}
+		for i := range servers {
+			tss[i].Close()
+			if err := servers[i].Drain(ctx); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8.0f req/s     %4d allocs/op\n",
+			"ClusterCachedRun", float64(br.NsPerOp()), 1e9/float64(br.NsPerOp()), br.AllocsPerOp())
 	}
 
 	if err := appendRecord(*out, rec); err != nil {

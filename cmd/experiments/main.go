@@ -43,11 +43,39 @@ type options struct {
 	// other experiment — including the speedup-reporting ablations —
 	// ignores it and runs full-length.
 	sample uc.SampleSpec
-	// srv, when non-nil, routes every simulation through a unisonserved
-	// daemon (-server URL) instead of executing in-process. The service's
-	// determinism contract keeps all CSVs byte-identical to the local
-	// path; repeat invocations hit the daemon's result cache.
-	srv *client.Client
+	// srv, when non-nil, routes every simulation through the unisonserved
+	// service (-server, one or more comma-separated daemon URLs) instead
+	// of executing in-process. The service's determinism contract keeps
+	// all CSVs byte-identical to the local path — including through a
+	// multi-daemon cluster — and repeat invocations hit the daemons'
+	// result caches and stores.
+	srv service
+}
+
+// service is the slice of the client API the experiments route through:
+// both a single daemon (*client.Client) and a consistent-hash cluster
+// (*client.Cluster) satisfy it, so every experiment is oblivious to how
+// many daemons are behind -server.
+type service interface {
+	Health(context.Context) (client.Health, error)
+	ExecuteMany(context.Context, []uc.Run) ([]uc.Result, error)
+	SpeedupMany(context.Context, []uc.Run) ([]uc.SpeedupResult, error)
+	SweepSampled(context.Context, []uc.Run, uc.SampleSpec) ([]uc.SpeedupResult, error)
+}
+
+// newService builds the -server client: a fan-out Cluster for a
+// comma-separated list, a plain Client for a single URL.
+func newService(servers string) (service, error) {
+	var addrs []string
+	for _, a := range strings.Split(servers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 1 {
+		return client.New(addrs[0]), nil
+	}
+	return client.NewCluster(addrs)
 }
 
 // executeMany runs an ExecuteMany plan locally or through -server.
@@ -122,7 +150,7 @@ func main() {
 	sampleFlag := flag.Bool("sample", false, "sampled simulation for the speedup figures: CI-target sweeps, CI columns in fig7/fig8 CSVs")
 	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
 	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
-	server := flag.String("server", "", "unisonserved base URL (e.g. http://127.0.0.1:8080); route all simulations through the service")
+	server := flag.String("server", "", "unisonserved base URL(s), comma-separated for a cluster (e.g. http://127.0.0.1:8080,http://127.0.0.1:8081); route all simulations through the service")
 	serialAccess := flag.Bool("serial-access", false, "force one-at-a-time design lookups instead of the batched AccessBatch drain (A/B verification; output is byte-identical)")
 	flag.Parse()
 
@@ -134,10 +162,14 @@ func main() {
 
 	opt := options{accesses: *accesses, seed: *seed, outDir: *out, jobs: *jobs, segments: *segments}
 	if *server != "" {
-		opt.srv = client.New(*server)
-		if _, err := opt.srv.Health(context.Background()); err != nil {
+		srv, err := newService(*server)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := srv.Health(context.Background()); err != nil {
 			fatal(fmt.Errorf("cannot reach -server %s: %w", *server, err))
 		}
+		opt.srv = srv
 	}
 	if *sampleFlag || *sampleSpec != "" || *confidence != 0 {
 		opt.sample = uc.DefaultSampleSpec()

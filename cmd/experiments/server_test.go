@@ -38,9 +38,10 @@ func TestFig7CSVMatchesServer(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	cl := client.New(ts.URL)
 	served := local
 	served.outDir = t.TempDir()
-	served.srv = client.New(ts.URL)
+	served.srv = cl
 	if err := fig7(served); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFig7CSVMatchesServer(t *testing.T) {
 	// Resubmission: every run is already cached, so the second service
 	// pass executes nothing new and still reproduces the bytes.
 	ctx := context.Background()
-	before, err := served.srv.Metrics(ctx)
+	before, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig7CSVMatchesServer(t *testing.T) {
 	if string(again) != string(want) {
 		t.Fatal("cached -server rerun diverges from the in-process CSV")
 	}
-	after, err := served.srv.Metrics(ctx)
+	after, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

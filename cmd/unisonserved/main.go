@@ -1,22 +1,35 @@
 // Command unisonserved is the simulation daemon: it serves the
-// unisoncache simulation engine over HTTP/JSON with a job scheduler and
-// a content-addressed result cache, so repeated and overlapping sweeps —
-// across clients and across time — execute each distinct configuration
-// once.
+// unisoncache simulation engine over HTTP/JSON with a job scheduler, a
+// content-addressed result cache, an optional crash-safe persistent
+// result store, and optional cluster routing, so repeated and
+// overlapping sweeps — across clients, across restarts, and across a
+// fleet of daemons — execute each distinct configuration once.
 //
 // Usage:
 //
 //	unisonserved -addr :8080
-//	unisonserved -addr 127.0.0.1:8080 -workers 2 -jobs 8 -cache-entries 4096
+//	unisonserved -addr 127.0.0.1:8080 -workers 2 -jobs 8 -store-dir /var/lib/unison
+//	unisonserved -addr 127.0.0.1:8081 -self http://127.0.0.1:8081 \
+//	    -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	    -store-dir /var/lib/unison-1
 //
 // Endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events (NDJSON progress), DELETE /v1/jobs/{id},
-// GET /healthz, GET /metrics (Prometheus text).
+// GET /v1/results/{key} (pure cache/store lookup), GET /healthz,
+// GET /metrics (Prometheus text).
+//
+// With -store-dir the daemon persists every result it produces to an
+// append-only segment log and serves its history from disk after a
+// restart — even a kill -9 (recovery drops only a torn tail). With
+// -self/-peers the daemons build a shared consistent-hash ring and
+// route each run to the member owning its key, filling from peer
+// caches before ever re-simulating.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
 // 503, accepted jobs run to completion (bounded by -drain-timeout), then
 // the listener closes. Point clients at it with the unisoncache/client
-// package or cmd/experiments -server.
+// package or cmd/experiments -server (which accepts the same
+// comma-separated member list).
 package main
 
 import (
@@ -28,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"unisoncache/internal/serve"
+	"unisoncache/internal/store"
 )
 
 // options is the parsed flag set.
@@ -39,7 +54,11 @@ type options struct {
 	addr         string
 	jobs         int
 	workers      int
-	cacheEntries int
+	cacheBytes   int64
+	self         string
+	peers        string
+	storeDir     string
+	storeBytes   int64
 	drainTimeout time.Duration
 }
 
@@ -50,7 +69,11 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&o.jobs, "jobs", 0, "per-sweep concurrent simulations (0 = one per CPU)")
 	fs.IntVar(&o.workers, "workers", 2, "jobs executing concurrently; queued jobs wait FIFO")
-	fs.IntVar(&o.cacheEntries, "cache-entries", 4096, "max results held by the content-addressed cache (LRU)")
+	fs.Int64Var(&o.cacheBytes, "cache-bytes", 256<<20, "in-memory result cache budget in bytes (LRU by marshaled size)")
+	fs.StringVar(&o.self, "self", "", "this daemon's base URL in the -peers list (enables cluster routing)")
+	fs.StringVar(&o.peers, "peers", "", "comma-separated base URLs of every cluster member, including this one")
+	fs.StringVar(&o.storeDir, "store-dir", "", "directory for the persistent result store (empty = memory only)")
+	fs.Int64Var(&o.storeBytes, "store-bytes", 1<<30, "persistent store budget in bytes (oldest segments evicted)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "how long SIGTERM waits for accepted jobs (0 = forever)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -58,15 +81,33 @@ func parseFlags(args []string) (options, error) {
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if (o.self == "") != (o.peers == "") {
+		return options{}, fmt.Errorf("-self and -peers must be set together")
+	}
 	return o, nil
 }
 
-// newServer builds the service from the options.
-func newServer(o options) *serve.Server {
+// peerList splits the -peers value.
+func peerList(peers string) []string {
+	var out []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// newServer builds the service from the options and the (possibly nil)
+// persistent store.
+func newServer(o options, st *store.Store) *serve.Server {
 	return serve.New(serve.Config{
-		Jobs:         o.jobs,
-		Workers:      o.workers,
-		CacheEntries: o.cacheEntries,
+		Jobs:       o.jobs,
+		Workers:    o.workers,
+		CacheBytes: o.cacheBytes,
+		Store:      st,
+		Self:       o.self,
+		Peers:      peerList(o.peers),
 	})
 }
 
@@ -74,14 +115,25 @@ func newServer(o options) *serve.Server {
 // shuts down. ready (when non-nil) receives the bound address once the
 // listener is up — tests use it to connect to an ":0" listener.
 func run(o options, stop <-chan os.Signal, ready func(addr string)) error {
-	s := newServer(o)
+	var st *store.Store
+	if o.storeDir != "" {
+		var err error
+		st, err = store.Open(o.storeDir, store.Options{MaxBytes: o.storeBytes})
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		defer st.Close()
+		fmt.Fprintf(os.Stderr, "unisonserved: store %s recovered %d results (%d bytes)\n",
+			o.storeDir, st.Len(), st.SizeBytes())
+	}
+	s := newServer(o, st)
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	httpServer := &http.Server{Handler: s.Handler()}
-	fmt.Fprintf(os.Stderr, "unisonserved: listening on %s (workers %d, cache %d entries)\n",
-		ln.Addr(), o.workers, o.cacheEntries)
+	fmt.Fprintf(os.Stderr, "unisonserved: listening on %s (workers %d, cache %d bytes)\n",
+		ln.Addr(), o.workers, o.cacheBytes)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

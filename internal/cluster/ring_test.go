@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n content-addressed-style keys (hex SHA-256 digests,
+// exactly what the daemon routes).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("run-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestRingDeterministic: two rings over the same members (in any order)
+// agree on every owner — the property that lets daemons and clients route
+// without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := New([]string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}, 0)
+	b := New([]string{"http://n3:8080", "http://n1:8080", "http://n2:8080", "http://n1:8080"}, 0)
+	for _, k := range testKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, each of N members owns roughly
+// 1/N of the key space.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	r := New(nodes, 0)
+	counts := map[string]int{}
+	keys := testKeys(30_000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		share := float64(counts[n]) / want
+		if share < 0.7 || share > 1.3 {
+			t.Errorf("node %s owns %.2fx its fair share (%d keys)", n, share, counts[n])
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing contract: growing the
+// ring from N to N+1 members remaps only about 1/(N+1) of the keys — the
+// ones the new node takes over — and every remapped key moves TO the new
+// node, never between old ones.
+func TestRingStability(t *testing.T) {
+	old := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	grown := append(append([]string{}, old...), "http://n4:8080")
+	before, after := New(old, 0), New(grown, 0)
+
+	keys := testKeys(30_000)
+	moved := 0
+	for _, k := range keys {
+		if b, a := before.Owner(k), after.Owner(k); b != a {
+			moved++
+			if a != "http://n4:8080" {
+				t.Fatalf("key %s moved between surviving nodes (%s -> %s)", k, b, a)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	want := 1.0 / float64(len(grown))
+	if frac < want*0.6 || frac > want*1.4 {
+		t.Errorf("adding 1 of %d nodes remapped %.1f%% of keys, want ~%.1f%%",
+			len(grown), 100*frac, 100*want)
+	}
+}
+
+// TestRingPreference: the fallback order starts at the owner, covers
+// every member exactly once, and stays consistent across builds.
+func TestRingPreference(t *testing.T) {
+	nodes := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	r := New(nodes, 0)
+	for _, k := range testKeys(100) {
+		pref := r.Preference(k)
+		if len(pref) != len(nodes) {
+			t.Fatalf("Preference(%s) has %d entries, want %d", k, len(pref), len(nodes))
+		}
+		if pref[0] != r.Owner(k) {
+			t.Fatalf("Preference(%s)[0] = %s, Owner = %s", k, pref[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range pref {
+			if seen[n] {
+				t.Fatalf("Preference(%s) repeats %s", k, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingSingleAndEmpty: degenerate member lists.
+func TestRingSingleAndEmpty(t *testing.T) {
+	if r := New(nil, 0); r != nil {
+		t.Error("empty ring should be nil")
+	}
+	if r := New([]string{"", ""}, 0); r != nil {
+		t.Error("blank-only ring should be nil")
+	}
+	r := New([]string{"http://solo:8080"}, 0)
+	for _, k := range testKeys(10) {
+		if r.Owner(k) != "http://solo:8080" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+}

@@ -10,9 +10,12 @@ import (
 // Prometheus text exposition format (flat counters and gauges, no labels,
 // no dependencies).
 type metrics struct {
-	cacheHits     atomic.Uint64 // executions served from the result cache
-	cacheMisses   atomic.Uint64 // executions that actually simulated
+	cacheHits     atomic.Uint64 // executions served from the in-memory result cache
+	cacheMisses   atomic.Uint64 // executions that actually simulated here
 	coalesced     atomic.Uint64 // executions that joined an in-flight one
+	storeHits     atomic.Uint64 // executions/lookups served from the persistent store
+	peerFills     atomic.Uint64 // owned keys filled from a peer's cache instead of simulating
+	proxied       atomic.Uint64 // runs forwarded to their owning daemon
 	jobsSubmitted atomic.Uint64
 	jobsDone      atomic.Uint64
 	jobsFailed    atomic.Uint64
@@ -28,14 +31,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	counter("unisonserved_cache_hits_total", "Run executions served from the content-addressed result cache.", s.m.cacheHits.Load())
-	counter("unisonserved_cache_misses_total", "Run executions that simulated (cache fill).", s.m.cacheMisses.Load())
+	counter("unisonserved_cache_hits_total", "Run executions served from the in-memory content-addressed result cache.", s.m.cacheHits.Load())
+	counter("unisonserved_cache_misses_total", "Run executions that simulated on this daemon (cache fill).", s.m.cacheMisses.Load())
 	counter("unisonserved_inflight_coalesced_total", "Run executions deduplicated onto a concurrent identical execution.", s.m.coalesced.Load())
+	counter("unisonserved_store_hits_total", "Run executions and lookups served from the persistent result store.", s.m.storeHits.Load())
+	counter("unisonserved_peer_fills_total", "Owned keys filled from a cluster peer's cache instead of re-simulating.", s.m.peerFills.Load())
+	counter("unisonserved_proxied_total", "Runs forwarded to the cluster member owning their key.", s.m.proxied.Load())
 	counter("unisonserved_jobs_submitted_total", "Jobs accepted by the submit endpoints.", s.m.jobsSubmitted.Load())
 	counter("unisonserved_jobs_done_total", "Jobs that completed successfully.", s.m.jobsDone.Load())
 	counter("unisonserved_jobs_failed_total", "Jobs that ended in an error.", s.m.jobsFailed.Load())
 	counter("unisonserved_jobs_canceled_total", "Jobs canceled before completing.", s.m.jobsCanceled.Load())
-	gauge("unisonserved_cache_entries", "Results currently held by the cache.", uint64(s.cache.len()))
+	gauge("unisonserved_cache_entries", "Results currently held by the in-memory cache.", uint64(s.cache.len()))
+	gauge("unisonserved_cache_bytes", "Accounted marshaled size of the in-memory cache's results.", uint64(s.cache.bytes()))
+	if s.store != nil {
+		gauge("unisonserved_store_bytes", "On-disk size of the persistent result store's segments.", uint64(s.store.SizeBytes()))
+		gauge("unisonserved_store_records", "Distinct keys indexed by the persistent result store.", uint64(s.store.Len()))
+	}
 	gauge("unisonserved_queue_depth", "Jobs waiting for a worker.", uint64(s.queue.Len()))
 	gauge("unisonserved_jobs_active", "Jobs currently executing.", uint64(s.queue.Active()))
 	var draining uint64

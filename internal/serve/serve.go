@@ -32,12 +32,15 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	uc "unisoncache"
 	"unisoncache/client"
+	"unisoncache/internal/cluster"
 	"unisoncache/internal/runner"
+	"unisoncache/internal/store"
 )
 
 // maxRequestBytes bounds submit-request bodies (a 100k-point sweep is
@@ -52,9 +55,10 @@ type Config struct {
 	// Workers is how many jobs execute concurrently (default 2). Queued
 	// jobs beyond that wait FIFO.
 	Workers int
-	// CacheEntries bounds the content-addressed result cache (default
-	// 4096 results, LRU eviction).
-	CacheEntries int
+	// CacheBytes bounds the in-memory content-addressed result cache by
+	// the marshaled size of the results it holds (default 256 MiB, LRU
+	// eviction).
+	CacheBytes int64
 	// JobHistory bounds how many finished jobs (and their result
 	// payloads) stay queryable via GET /v1/jobs/{id} (default 1024;
 	// oldest-finished evicted first). Queued and running jobs are never
@@ -68,6 +72,21 @@ type Config struct {
 	// unisoncache.Execute; tests substitute fakes to make caching and
 	// dedup observable without simulating.
 	Execute func(uc.Run) (uc.Result, error)
+
+	// Store, when non-nil, persists every locally produced result and is
+	// consulted on cache misses, so a restarted daemon serves its history
+	// from disk instead of re-simulating. The caller owns the store's
+	// lifecycle (open before New, close after Drain).
+	Store *store.Store
+
+	// Self and Peers configure cluster routing. Peers is the full static
+	// member list (daemon base URLs, any order) and Self is this
+	// daemon's own entry in it. When both are set, the daemon builds the
+	// shared consistent-hash ring: runs it owns execute locally (after
+	// trying peer caches), runs it doesn't own are forwarded to their
+	// owner. Empty means single-node, no routing.
+	Self  string
+	Peers []string
 }
 
 // Server is the simulation service. Create with New, expose with
@@ -77,7 +96,13 @@ type Server struct {
 	execute func(uc.Run) (uc.Result, error)
 	queue   *runner.Queue
 	cache   *resultCache
+	store   *store.Store
 	m       metrics
+
+	// Cluster routing (nil ring = single-node).
+	self  string
+	ring  *cluster.Ring
+	peers map[string]*client.Client // member URL → client, self excluded
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -93,9 +118,9 @@ func New(cfg Config) *Server {
 	if workers <= 0 {
 		workers = 2
 	}
-	entries := cfg.CacheEntries
-	if entries <= 0 {
-		entries = 4096
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = 256 << 20
 	}
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 1024
@@ -104,13 +129,31 @@ func New(cfg Config) *Server {
 	if execute == nil {
 		execute = uc.Execute
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		execute: execute,
 		queue:   runner.NewQueue(workers),
-		cache:   newResultCache(entries),
+		cache:   newResultCache(cacheBytes),
+		store:   cfg.Store,
 		jobs:    make(map[string]*job),
 	}
+	if self := strings.TrimRight(cfg.Self, "/"); self != "" && len(cfg.Peers) > 0 {
+		ring := cluster.New(append([]string{self}, cfg.Peers...), 0)
+		s.self, s.ring = self, ring
+		s.peers = make(map[string]*client.Client)
+		for _, n := range ring.Nodes() {
+			if n == self {
+				continue
+			}
+			cl := client.New(n)
+			// Every daemon-to-daemon request carries the forwarded
+			// marker, so the receiver executes locally instead of
+			// routing again — one hop maximum, no proxy loops.
+			cl.Header = http.Header{forwardedHeader: []string{"1"}}
+			s.peers[n] = cl
+		}
+	}
+	return s
 }
 
 // Handler returns the service's HTTP handler.
@@ -121,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -136,23 +180,50 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // executeRun is the service's single-run execution path: canonical key,
-// cache lookup, in-flight dedup, metrics.
-func (s *Server) executeRun(r uc.Run) (res uc.Result, hit bool, err error) {
+// cache lookup, cluster routing, in-flight dedup, metrics.
+func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res uc.Result, hit bool, err error) {
 	key, err := uc.RunKey(r)
 	if err != nil {
 		return uc.Result{}, false, err
 	}
-	return s.executeKeyed(key, r)
+	return s.executeKeyed(ctx, key, r, forwarded)
 }
 
 // executeKeyed is executeRun for a caller that already computed the key
 // (the run-submission path hashes once and reuses it — for replay runs
 // RunKey digests the whole capture file, so recomputing is a full extra
-// read).
-func (s *Server) executeKeyed(key string, r uc.Run) (res uc.Result, hit bool, err error) {
+// read). On a memory-cache miss the fill order is: persistent store,
+// then cluster routing (forward to the owner, or peer caches when this
+// daemon is the owner), then simulation — so re-simulating is strictly
+// the last resort. forwarded marks a request already routed by a peer
+// daemon, which must execute here (one hop maximum, no proxy loops).
+func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forwarded bool) (res uc.Result, hit bool, err error) {
 	res, hit, shared, err := s.cache.do(key, func() (uc.Result, error) {
+		if res, ok := s.storeGet(key); ok {
+			s.m.storeHits.Add(1)
+			return res, nil
+		}
+		if s.ring != nil && !forwarded {
+			if owner := s.ring.Owner(key); owner != s.self {
+				if res, err := s.remoteExecute(ctx, owner, r); err == nil {
+					s.m.proxied.Add(1)
+					return res, nil
+				}
+				// Owner unreachable: fall back to executing locally —
+				// availability over placement; the result is still
+				// correct, just cached off its home node.
+			} else if res, ok := s.peerFill(ctx, key); ok {
+				s.m.peerFills.Add(1)
+				s.storePut(key, res)
+				return res, nil
+			}
+		}
 		s.m.cacheMisses.Add(1)
-		return s.execute(r)
+		res, err := s.execute(r)
+		if err == nil {
+			s.storePut(key, res)
+		}
+		return res, err
 	})
 	switch {
 	case hit:
@@ -205,16 +276,25 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	s.m.jobsSubmitted.Add(1)
 
 	run := req.Run
+	forwarded := r.Header.Get(forwardedHeader) != ""
 	// The canonical key is computed once here — for replay runs it
 	// digests the whole capture file — and reused by both the cached
 	// fast path and the queued execution. A key error (unreadable trace)
 	// is carried into the job, which fails with it.
 	key, keyErr := uc.RunKey(run)
 	if keyErr == nil {
-		// Cached fast path: a result the daemon already holds answers
-		// the submission synchronously — one round trip, no queue.
-		if res, ok := s.cache.get(key); ok {
+		// Cached fast path: a result the daemon already holds — in
+		// memory or on disk — answers the submission synchronously: one
+		// round trip, no queue. The store check is what lets a freshly
+		// restarted daemon keep answering its history in one hop.
+		res, ok := s.cache.get(key)
+		if ok {
 			s.m.cacheHits.Add(1)
+		} else if res, ok = s.storeGet(key); ok {
+			s.m.storeHits.Add(1)
+			s.cache.put(key, res)
+		}
+		if ok {
 			j.recordExecution(true)
 			j.finish(ctx, nil, &res, nil, nil)
 			s.countFinished(j)
@@ -228,7 +308,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		res, hit, err := uc.Result{}, false, ctx.Err()
 		if err == nil {
 			if err = keyErr; err == nil {
-				res, hit, err = s.executeKeyed(key, run)
+				res, hit, err = s.executeKeyed(ctx, key, run, forwarded)
 			}
 		}
 		if err == nil {
@@ -277,6 +357,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Mode == client.ModeSpeedup {
 		total *= 2 // each point plus its (memoized) baseline — an upper bound
 	}
+	forwarded := r.Header.Get(forwardedHeader) != ""
 	ctx, cancel := context.WithCancel(context.Background())
 
 	s.mu.Lock()
@@ -293,7 +374,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 				if err := ctx.Err(); err != nil {
 					return uc.Result{}, context.Cause(ctx)
 				}
-				res, hit, err := s.executeRun(run)
+				res, hit, err := s.executeRun(ctx, run, forwarded)
 				if err == nil {
 					j.recordExecution(hit)
 				}

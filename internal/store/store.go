@@ -1,0 +1,352 @@
+// Package store is the daemon's persistent result store: a disk-backed,
+// crash-safe key/value log for content-addressed simulation results.
+// Values are opaque bytes (the service stores canonical Result JSON)
+// addressed by their run key, written through on every execution so a
+// restarted daemon serves its history from disk instead of re-simulating.
+//
+// The layout is a classic append-only segment log:
+//
+//	dir/000000000001.seg
+//	dir/000000000002.seg   <- active (appends go here)
+//
+// Each segment is a sequence of CRC-framed records (see ReadSegment). The
+// whole key space lives in an in-memory index (key -> newest record
+// location); Get is one ReadAt, Put is one buffered append. Opening a
+// directory replays every segment in id order, rebuilding the index —
+// later records win, so rewriting a key is just another append. A record
+// torn by a crash (truncated tail, flipped bits) fails its CRC; recovery
+// drops the torn tail by truncating the segment at the last clean record
+// boundary and keeps everything before it. No record that was fully
+// written is ever lost, and no partial record is ever served.
+//
+// The store is byte-bounded with segment-granularity eviction: when the
+// total on-disk size exceeds the budget, whole oldest segments are
+// deleted (cheap — one unlink, no compaction), dropping whatever keys
+// still lived there. Results are immutable and re-derivable, so eviction
+// is always safe; it only costs a future re-simulation or peer fetch.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record framing: fixed 8-byte header (key length, value length, little
+// endian), key bytes, value bytes, then a CRC-32 (IEEE) over header+key+
+// value. The CRC makes every flipped bit and every truncation detectable;
+// there is no record-level magic because segment files are never shared
+// with other formats.
+const recordHeaderLen = 8
+const recordTrailerLen = 4
+
+// maxRecordSide bounds each of key and value length so a corrupt header
+// cannot ask recovery (or a fuzzer) to allocate gigabytes.
+const maxRecordSide = 1 << 30
+
+// Record is one decoded key/value pair.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// size returns the encoded length of the record.
+func (r Record) size() int64 {
+	return int64(recordHeaderLen + len(r.Key) + len(r.Value) + recordTrailerLen)
+}
+
+// AppendRecord encodes r onto buf and returns the extended slice.
+func AppendRecord(buf []byte, r Record) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(r.Value)))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.Key...)
+	buf = append(buf, r.Value...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	var trailer [recordTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc)
+	return append(buf, trailer[:]...)
+}
+
+// ReadSegment decodes a segment byte stream into its records. It returns
+// every cleanly framed record and the offset just past the last one
+// (clean); when the remaining bytes do not form a complete, CRC-valid
+// record, err describes the torn tail. A torn tail is data loss only for
+// records that were mid-write when the process died — recovery truncates
+// at clean and the log stays appendable.
+func ReadSegment(data []byte) (recs []Record, clean int, err error) {
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < recordHeaderLen {
+			return recs, pos, fmt.Errorf("store: truncated record header at offset %d", pos)
+		}
+		keyLen := binary.LittleEndian.Uint32(data[pos : pos+4])
+		valLen := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if keyLen > maxRecordSide || valLen > maxRecordSide {
+			return recs, pos, fmt.Errorf("store: implausible record lengths (%d, %d) at offset %d", keyLen, valLen, pos)
+		}
+		total := recordHeaderLen + int(keyLen) + int(valLen) + recordTrailerLen
+		if len(data)-pos < total {
+			return recs, pos, fmt.Errorf("store: truncated record at offset %d (want %d bytes, have %d)", pos, total, len(data)-pos)
+		}
+		body := data[pos : pos+total-recordTrailerLen]
+		want := binary.LittleEndian.Uint32(data[pos+total-recordTrailerLen : pos+total])
+		if crc32.ChecksumIEEE(body) != want {
+			return recs, pos, fmt.Errorf("store: CRC mismatch at offset %d", pos)
+		}
+		key := string(body[recordHeaderLen : recordHeaderLen+int(keyLen)])
+		val := append([]byte(nil), body[recordHeaderLen+int(keyLen):]...)
+		recs = append(recs, Record{Key: key, Value: val})
+		pos += total
+	}
+	return recs, pos, nil
+}
+
+// Options parameterize Open.
+type Options struct {
+	// MaxBytes bounds the total on-disk size (default 1 GiB). When an
+	// append pushes past it, whole oldest segments are evicted.
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default 4 MiB). Smaller segments evict at finer granularity.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1 << 30
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File // open for the store's life (reads; writes on the active one)
+	size int64
+	keys []string // keys appended here (for index cleanup on eviction)
+}
+
+// recordLoc addresses one live record.
+type recordLoc struct {
+	seg    *segment
+	off    int64 // offset of the value bytes
+	valLen int
+}
+
+// Store is the disk-backed key/value store. Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	opts  Options
+	segs  []*segment // oldest first; last is the active (append) segment
+	index map[string]recordLoc
+	size  int64
+}
+
+// Open opens (or creates) a store in dir, replaying existing segments to
+// rebuild the index. Torn segment tails are truncated away; fully written
+// records always survive.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, index: make(map[string]recordLoc)}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil {
+			continue // not ours; leave it alone
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := s.replaySegment(id); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 || s.segs[len(s.segs)-1].size >= opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replaySegment reads one existing segment file, indexes its clean
+// records and truncates any torn tail.
+func (s *Store) replaySegment(id uint64) error {
+	path := s.segPath(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	recs, clean, terr := ReadSegment(data)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if terr != nil && clean < len(data) {
+		// Drop the torn tail so future appends land on a clean boundary.
+		if err := f.Truncate(int64(clean)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	seg := &segment{id: id, path: path, f: f, size: int64(clean)}
+	off := int64(0)
+	for _, r := range recs {
+		seg.keys = append(seg.keys, r.Key)
+		s.index[r.Key] = recordLoc{
+			seg:    seg,
+			off:    off + recordHeaderLen + int64(len(r.Key)),
+			valLen: len(r.Value),
+		}
+		off += r.size()
+	}
+	s.segs = append(s.segs, seg)
+	s.size += seg.size
+	return nil
+}
+
+func (s *Store) segPath(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%012d.seg", id))
+}
+
+// rotateLocked opens a fresh active segment.
+func (s *Store) rotateLocked() error {
+	var next uint64 = 1
+	if n := len(s.segs); n > 0 {
+		next = s.segs[n-1].id + 1
+	}
+	path := s.segPath(next)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, &segment{id: next, path: path, f: f})
+	return nil
+}
+
+// Get returns the newest value stored under key. The returned slice is
+// private to the caller.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	val := make([]byte, loc.valLen)
+	if _, err := loc.seg.f.ReadAt(val, loc.off); err != nil {
+		return nil, false, fmt.Errorf("store: reading %s: %w", loc.seg.path, err)
+	}
+	return val, true, nil
+}
+
+// Put appends the record and indexes it, rotating and evicting as the
+// byte budgets require. The write is a single append; a crash mid-Put
+// loses at most this record (recovery drops the torn tail).
+func (s *Store) Put(key string, val []byte) error {
+	rec := Record{Key: key, Value: val}
+	blob := AppendRecord(make([]byte, 0, rec.size()), rec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := s.segs[len(s.segs)-1]
+	if active.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	if _, err := active.f.WriteAt(blob, active.size); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", active.path, err)
+	}
+	s.index[key] = recordLoc{
+		seg:    active,
+		off:    active.size + recordHeaderLen + int64(len(key)),
+		valLen: len(val),
+	}
+	active.keys = append(active.keys, key)
+	active.size += int64(len(blob))
+	s.size += int64(len(blob))
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked unlinks whole oldest segments until the store fits its byte
+// budget. The active segment is never evicted, so one oversized record
+// can exceed the budget rather than vanish immediately.
+func (s *Store) evictLocked() {
+	for s.size > s.opts.MaxBytes && len(s.segs) > 1 {
+		seg := s.segs[0]
+		s.segs = s.segs[1:]
+		for _, k := range seg.keys {
+			if loc, ok := s.index[k]; ok && loc.seg == seg {
+				delete(s.index, k)
+			}
+		}
+		s.size -= seg.size
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// SizeBytes returns the total on-disk size.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases every file handle. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	s.index = map[string]recordLoc{}
+	s.size = 0
+	return first
+}
