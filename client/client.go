@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	uc "unisoncache"
+	"unisoncache/internal/obs"
 )
 
 // Retry defaults: up to defaultRetries additional attempts after a
@@ -65,6 +67,15 @@ type Client struct {
 	// RetryBackoff is the first retry's base delay, doubling per attempt
 	// with jitter. 0 means the default (100ms).
 	RetryBackoff time.Duration
+
+	// OnRetry, when non-nil, is called before each retry sleep with the
+	// attempt number just failed (1-based), the chosen backoff, and the
+	// transport error. Tests and progress UIs hook it; it must not block.
+	OnRetry func(attempt int, wait time.Duration, err error)
+	// Logger, when non-nil, receives a structured warning per retry
+	// (attempt, wait, error, URL). Nil stays silent — the default for a
+	// library client.
+	Logger *slog.Logger
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -100,13 +111,21 @@ func New(baseURL string) *Client {
 func (c *Client) URL() string { return c.base }
 
 // send performs one HTTP round trip with the shared request policy:
-// per-client headers applied, and transient connect errors retried with
-// jittered exponential backoff. Reaching the daemon ends retrying — a
-// received response is returned whatever its status, so a non-idempotent
-// submit is never replayed after the daemon accepted it.
+// per-client headers applied, the context's request ID stamped on the
+// wire (so one logical operation correlates across daemons), and
+// transient connect errors retried with jittered exponential backoff.
+// Reaching the daemon ends retrying — a received response is returned
+// whatever its status, so a non-idempotent submit is never replayed
+// after the daemon accepted it. When retries were needed, the final
+// error says how many attempts were made.
 func (c *Client) send(req *http.Request) (*http.Response, error) {
 	for k, vs := range c.Header {
 		req.Header[k] = append([]string(nil), vs...)
+	}
+	if req.Header.Get(obs.RequestIDHeader) == "" {
+		if id := obs.RequestIDFrom(req.Context()); id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
+		}
 	}
 	retries := c.MaxRetries
 	if retries == 0 {
@@ -138,13 +157,28 @@ func (c *Client) send(req *http.Request) (*http.Response, error) {
 		}
 		lastErr = err
 		if attempt >= retries || !transientConnectError(err) || req.Context().Err() != nil {
+			if attempt > 0 {
+				return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
+			}
 			return nil, lastErr
 		}
 		// Jittered exponential backoff: base << attempt, scaled by a
 		// uniform factor in [0.5, 1.5).
 		delay := time.Duration(float64(base<<attempt) * (0.5 + rand.Float64()))
+		if c.OnRetry != nil {
+			c.OnRetry(attempt+1, delay, err)
+		}
+		if c.Logger != nil {
+			c.Logger.Warn("retrying request",
+				"req_id", req.Header.Get(obs.RequestIDHeader),
+				"method", req.Method, "url", req.URL.String(),
+				"attempt", attempt+1, "wait", delay.String(), "error", err.Error())
+		}
 		select {
 		case <-req.Context().Done():
+			if attempt > 0 {
+				return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
+			}
 			return nil, lastErr
 		case <-time.After(delay):
 		}
@@ -396,8 +430,12 @@ func (c *Client) await(ctx context.Context, j Job, err error) (Job, error) {
 	}
 }
 
-// Execute runs one simulation through the service.
+// Execute runs one simulation through the service. The whole operation
+// — submit, wait, fetch, any retries — shares one request ID (minted
+// here unless the context already carries one), so it reads as a single
+// trace in the daemons' logs.
 func (c *Client) Execute(ctx context.Context, run uc.Run) (uc.Result, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	j, err := c.SubmitRun(ctx, run)
 	if j, err = c.await(ctx, j, err); err != nil {
 		return uc.Result{}, err
@@ -410,6 +448,7 @@ func (c *Client) Execute(ctx context.Context, run uc.Run) (uc.Result, error) {
 
 // ExecuteMany is the service-side ExecuteMany: results in point order.
 func (c *Client) ExecuteMany(ctx context.Context, points []uc.Run) ([]uc.Result, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeExecute})
 	if j, err = c.await(ctx, j, err); err != nil {
 		return nil, err
@@ -420,6 +459,7 @@ func (c *Client) ExecuteMany(ctx context.Context, points []uc.Run) ([]uc.Result,
 // SpeedupMany is the service-side SpeedupMany: per-point speedups over
 // memoized no-DRAM-cache baselines, in point order.
 func (c *Client) SpeedupMany(ctx context.Context, points []uc.Run) ([]uc.SpeedupResult, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeSpeedup})
 	if j, err = c.await(ctx, j, err); err != nil {
 		return nil, err
@@ -430,6 +470,7 @@ func (c *Client) SpeedupMany(ctx context.Context, points []uc.Run) ([]uc.Speedup
 // SweepSampled is the service-side SweepSampled: a CI-target sampled
 // speedup sweep under spec.
 func (c *Client) SweepSampled(ctx context.Context, points []uc.Run, spec uc.SampleSpec) ([]uc.SpeedupResult, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	j, err := c.SubmitSweep(ctx, SweepRequest{Points: points, Mode: ModeSpeedup, Sample: &spec})
 	if j, err = c.await(ctx, j, err); err != nil {
 		return nil, err

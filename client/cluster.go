@@ -13,6 +13,7 @@ import (
 
 	uc "unisoncache"
 	"unisoncache/internal/cluster"
+	"unisoncache/internal/obs"
 )
 
 // Cluster is a fan-out client for a sharded unisonserved deployment: it
@@ -126,8 +127,10 @@ func (c *Cluster) Health(ctx context.Context) (Health, error) {
 }
 
 // Execute routes one run to the daemon owning its key, failing over
-// along the preference order if that node is unreachable.
+// along the preference order if that node is unreachable. One request ID
+// covers every attempt, so a failed-over run still reads as one trace.
 func (c *Cluster) Execute(ctx context.Context, run uc.Run) (uc.Result, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	var res uc.Result
 	err := c.failover(ctx, c.ring.Preference(routeKey(run)), func(cl *Client) error {
 		r, err := cl.Execute(ctx, run)
@@ -148,6 +151,7 @@ func (c *Cluster) ExecuteMany(ctx context.Context, points []uc.Run) ([]uc.Result
 	if len(points) == 0 {
 		return nil, nil
 	}
+	ctx, _ = obs.EnsureRequestID(ctx)
 	type part struct {
 		idx  []int
 		runs []uc.Run
@@ -230,6 +234,7 @@ func (c *Cluster) coordinator(points []uc.Run) []string {
 // by the plan's key digest) so baseline memoization happens once, with
 // ring failover if it is down.
 func (c *Cluster) SpeedupMany(ctx context.Context, points []uc.Run) ([]uc.SpeedupResult, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	var out []uc.SpeedupResult
 	err := c.failover(ctx, c.coordinator(points), func(cl *Client) error {
 		r, err := cl.SpeedupMany(ctx, points)
@@ -244,6 +249,7 @@ func (c *Cluster) SpeedupMany(ctx context.Context, points []uc.Run) ([]uc.Speedu
 // SweepSampled submits a CI-target sampled sweep to the plan's
 // coordinator daemon.
 func (c *Cluster) SweepSampled(ctx context.Context, points []uc.Run, spec uc.SampleSpec) ([]uc.SpeedupResult, error) {
+	ctx, _ = obs.EnsureRequestID(ctx)
 	var out []uc.SpeedupResult
 	err := c.failover(ctx, c.coordinator(points), func(cl *Client) error {
 		r, err := cl.SweepSampled(ctx, points, spec)

@@ -1,9 +1,13 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
+	"log/slog"
 	"net"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -55,6 +59,15 @@ func TestClientRetriesTransientConnectErrors(t *testing.T) {
 
 	cl := client.New(ts.URL)
 	cl.RetryBackoff = time.Millisecond
+	var retries []int
+	cl.OnRetry = func(attempt int, wait time.Duration, err error) {
+		if wait <= 0 || err == nil {
+			t.Errorf("OnRetry(%d, %v, %v): bad arguments", attempt, wait, err)
+		}
+		retries = append(retries, attempt)
+	}
+	var logBuf syncBuffer
+	cl.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
 	got, err := cl.Execute(context.Background(), run("web-search", uc.DesignUnison))
 	if err != nil {
 		t.Fatalf("Execute through flaky transport: %v", err)
@@ -62,6 +75,53 @@ func TestClientRetriesTransientConnectErrors(t *testing.T) {
 	want, _ := fakeExecute(run("web-search", uc.DesignUnison))
 	if got.UIPC != want.UIPC {
 		t.Fatalf("retried submit returned UIPC %v, want %v", got.UIPC, want.UIPC)
+	}
+	if len(retries) < 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2 ...]", retries)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "retrying request") || !strings.Contains(logged, `"attempt":1`) {
+		t.Errorf("retry log missing attempts:\n%s", logged)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for concurrent log writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestClientRetryExhaustionCountsAttempts: when every attempt fails, the
+// final error reports how many were made.
+func TestClientRetryExhaustionCountsAttempts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "http://" + ln.Addr().String()
+	ln.Close()
+
+	cl := client.New(addr)
+	cl.MaxRetries = 2
+	cl.RetryBackoff = time.Millisecond
+	_, err = cl.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("exhaustion error %q does not count the 3 attempts", err)
 	}
 }
 

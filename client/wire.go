@@ -1,6 +1,8 @@
 package client
 
 import (
+	"time"
+
 	uc "unisoncache"
 )
 
@@ -68,6 +70,14 @@ type Job struct {
 	CacheHits int    `json:"cache_hits"`
 	Error     string `json:"error,omitempty"`
 
+	// RequestID is the X-Unison-Request-Id the submission carried (minted
+	// at whichever edge first saw the request); Spans is the job's stage
+	// timeline — received, queued, how each execution was satisfied
+	// (simulated, cache-hit, store-hit, peer-fill, proxied, coalesced),
+	// and the terminal state — with offsets relative to receipt.
+	RequestID string `json:"request_id,omitempty"`
+	Spans     []Span `json:"spans,omitempty"`
+
 	Result   *uc.Result         `json:"result,omitempty"`
 	Results  []uc.Result        `json:"results,omitempty"`
 	Speedups []uc.SpeedupResult `json:"speedups,omitempty"`
@@ -88,12 +98,28 @@ type Event struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Error string `json:"error,omitempty"`
+
+	RequestID string `json:"request_id,omitempty"`
+	Spans     []Span `json:"spans,omitempty"`
 }
 
-// Health is the GET /healthz payload.
+// Span is one stage of a job's timeline: its name, when it started
+// relative to the request being received, and how long it took (0 for
+// instantaneous markers like the terminal state). Durations marshal as
+// integer nanoseconds.
+type Span struct {
+	Stage string        `json:"stage"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Health is the payload of GET /healthz (readiness: 503 + Ready=false
+// while draining) and GET /livez (liveness: always 200).
 type Health struct {
-	Status   string `json:"status"` // "ok", or "draining" during shutdown
-	Draining bool   `json:"draining"`
+	Status string `json:"status"` // "ok", or "draining" during shutdown
+	// Ready reports whether the daemon accepts new submissions.
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
 }
 
 // errorBody is every non-2xx response's payload.

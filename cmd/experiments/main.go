@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	uc "unisoncache"
 	"unisoncache/client"
 	"unisoncache/internal/config"
+	"unisoncache/internal/obs"
 	"unisoncache/internal/stats"
 )
 
@@ -64,8 +66,12 @@ type service interface {
 }
 
 // newService builds the -server client: a fan-out Cluster for a
-// comma-separated list, a plain Client for a single URL.
+// comma-separated list, a plain Client for a single URL. Retries are
+// surfaced on stderr through the client's structured logger — a long
+// figure run that silently stalls on a flapping daemon is much worse
+// than a few warning lines.
 func newService(servers string) (service, error) {
+	retryLog, _ := obs.NewLogger(os.Stderr, obs.LogText, slog.LevelWarn)
 	var addrs []string
 	for _, a := range strings.Split(servers, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -73,9 +79,18 @@ func newService(servers string) (service, error) {
 		}
 	}
 	if len(addrs) == 1 {
-		return client.New(addrs[0]), nil
+		cl := client.New(addrs[0])
+		cl.Logger = retryLog
+		return cl, nil
 	}
-	return client.NewCluster(addrs)
+	cluster, err := client.NewCluster(addrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range cluster.Nodes() {
+		cluster.Node(n).Logger = retryLog
+	}
+	return cluster, nil
 }
 
 // executeMany runs an ExecuteMany plan locally or through -server.

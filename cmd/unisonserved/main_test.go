@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"syscall"
 	"testing"
@@ -31,6 +34,48 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-self", "http://x:1"}); err == nil {
 		t.Error("-self without -peers accepted")
+	}
+	if o.logFormat != "text" || o.logLevel != "info" || o.slowThreshold != time.Minute || o.pprofAddr != "" {
+		t.Errorf("observability defaults = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-log-format", "yaml"}); err == nil {
+		t.Error("-log-format yaml accepted")
+	}
+	if _, err := parseFlags([]string{"-log-level", "loud"}); err == nil {
+		t.Error("-log-level loud accepted")
+	}
+	if o, err := parseFlags([]string{"-log-format", "json", "-log-level", "debug", "-slow-threshold", "2s", "-pprof-addr", "127.0.0.1:0"}); err != nil ||
+		o.logFormat != "json" || o.logLevel != "debug" || o.slowThreshold != 2*time.Second || o.pprofAddr != "127.0.0.1:0" {
+		t.Errorf("observability flags = %+v, %v", o, err)
+	}
+}
+
+// TestPprofListener: -pprof-addr serves the standard profile index on
+// its own listener, and empty means disabled.
+func TestPprofListener(t *testing.T) {
+	lg := slog.New(slog.DiscardHandler)
+	if addr, c, err := servePprof("", lg); addr != "" || c != nil || err != nil {
+		t.Fatalf("disabled pprof = %q, %v, %v", addr, c, err)
+	}
+	addr, c, err := servePprof("127.0.0.1:0", lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof cmdline response")
 	}
 }
 

@@ -1,0 +1,33 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for the request ID.
+type ctxKey struct{}
+
+// WithRequestID returns ctx carrying id. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// EnsureRequestID returns ctx carrying a request ID, minting one when
+// none is present. The high-level client operations call this once per
+// logical operation so the submit, the event-stream wait, the final job
+// fetch, and every cluster failover attempt all share one ID.
+func EnsureRequestID(ctx context.Context) (context.Context, string) {
+	if id := RequestIDFrom(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewRequestID()
+	return WithRequestID(ctx, id), id
+}

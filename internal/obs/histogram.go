@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout in seconds: half a
+// millisecond to ten seconds, roughly 2-2.5x apart — wide enough to
+// cover a cached submit (sub-millisecond) and a full simulation (many
+// seconds) in one histogram.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket, label-free (or single-const-label)
+// Prometheus-text histogram. Observations are lock-free atomic adds;
+// rendering computes the cumulative buckets the exposition format
+// requires. A Histogram standing alone renders its own # HELP/# TYPE
+// header; Histograms inside a Vec share the Vec's.
+type Histogram struct {
+	name    string
+	help    string
+	labels  string // rendered inside {…} before le, e.g. `path="/v1/runs"`
+	bounds  []float64
+	counts  []atomic.Uint64 // per-bucket (non-cumulative); len(bounds)+1, last = +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (nil means DefBuckets). The +Inf bucket is implicit.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (seconds, for the latency histograms).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Write renders the histogram with its # HELP/# TYPE header.
+func (h *Histogram) Write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	h.writeSeries(w)
+}
+
+// writeSeries renders the _bucket/_sum/_count triple (no header). The
+// buckets are cumulative and end at le="+Inf", whose value equals
+// _count — the exposition-format invariants the metrics test wall
+// checks.
+func (h *Histogram) writeSeries(w io.Writer) {
+	sep := ""
+	if h.labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", h.name, h.labels, sep, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, h.labels, sep, cum)
+	if h.labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", h.name, h.labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", h.name, h.labels, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Vec is a minimal fixed-label-key histogram vector: one metric family
+// (shared name, help, buckets) with one Histogram per label value,
+// created on first use. It exists so per-endpoint latency can be a
+// proper labeled family without pulling in a metrics library.
+type Vec struct {
+	name     string
+	help     string
+	labelKey string
+	bounds   []float64
+
+	mu     sync.Mutex
+	order  []string // first-use order, for stable rendering
+	series map[string]*Histogram
+}
+
+// NewVec builds a histogram family keyed by labelKey.
+func NewVec(name, help, labelKey string, bounds []float64) *Vec {
+	return &Vec{
+		name:     name,
+		help:     help,
+		labelKey: labelKey,
+		bounds:   bounds,
+		series:   make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *Vec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.series[value]
+	if !ok {
+		h = NewHistogram(v.name, v.help, v.bounds)
+		h.labels = fmt.Sprintf("%s=%q", v.labelKey, value)
+		v.series[value] = h
+		v.order = append(v.order, value)
+	}
+	return h
+}
+
+// Write renders the whole family: one # HELP/# TYPE header, then every
+// series in first-use order (all series of one family are contiguous,
+// as the exposition format requires).
+func (v *Vec) Write(w io.Writer) {
+	v.mu.Lock()
+	order := append([]string(nil), v.order...)
+	v.mu.Unlock()
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for _, value := range order {
+		v.With(value).writeSeries(w)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets: observations land in the right buckets, the
+// rendered buckets are cumulative and monotone, +Inf equals _count, and
+// _sum matches the observed total.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("test_seconds", "test histogram.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	h.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary-inclusive 0.1
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 102.65",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramConcurrent: racing observers never lose counts.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", "concurrent.", nil)
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*each)
+	}
+	if got, want := h.Sum(), float64(workers*each)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestVec: one family header, per-label series contiguous and stable,
+// and label values quoted.
+func TestVec(t *testing.T) {
+	v := NewVec("http_seconds", "request latency.", "path", []float64{1})
+	v.With("/v1/runs").Observe(0.5)
+	v.With("/metrics").Observe(2)
+	v.With("/v1/runs").Observe(3)
+
+	var buf bytes.Buffer
+	v.Write(&buf)
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE http_seconds histogram"); n != 1 {
+		t.Fatalf("family header rendered %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`http_seconds_bucket{path="/v1/runs",le="1"} 1`,
+		`http_seconds_bucket{path="/v1/runs",le="+Inf"} 2`,
+		`http_seconds_count{path="/v1/runs"} 2`,
+		`http_seconds_bucket{path="/metrics",le="+Inf"} 1`,
+		`http_seconds_sum{path="/metrics"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vec rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	// An empty vec renders nothing (no orphan header).
+	var empty bytes.Buffer
+	NewVec("e", "e.", "k", nil).Write(&empty)
+	if empty.Len() != 0 {
+		t.Errorf("empty vec rendered %q", empty.String())
+	}
+}

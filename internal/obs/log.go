@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger (the daemon's -log-format values).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format at
+// the given minimum level. Format is "text" (human-oriented key=value)
+// or "json" (one object per line, machine-greppable — what the CI
+// cluster smoke scrapes request IDs out of).
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", LogText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (have %q, %q)", format, LogText, LogJSON)
+	}
+}
+
+// ParseLevel maps the daemon's -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (have debug, info, warn, error)", s)
+	}
+}

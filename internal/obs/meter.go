@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter is the engine-side throughput gauge: the runner feeds it one
+// record per completed simulation (never per event — the replay hot
+// path stays untouched), and /metrics renders the cumulative event and
+// busy-time counters plus the derived events/sec gauge.
+type Meter struct {
+	events atomic.Uint64
+	busyNs atomic.Int64
+	runs   atomic.Uint64
+}
+
+// RecordRun accounts one completed simulation: how many trace events it
+// replayed and how long it took wall-clock.
+func (m *Meter) RecordRun(events uint64, d time.Duration) {
+	m.events.Add(events)
+	if d > 0 {
+		m.busyNs.Add(int64(d))
+	}
+	m.runs.Add(1)
+}
+
+// Events returns the cumulative replayed-event count.
+func (m *Meter) Events() uint64 { return m.events.Load() }
+
+// Runs returns how many simulations have been recorded.
+func (m *Meter) Runs() uint64 { return m.runs.Load() }
+
+// BusySeconds returns the cumulative wall-clock time spent simulating.
+func (m *Meter) BusySeconds() float64 {
+	return time.Duration(m.busyNs.Load()).Seconds()
+}
+
+// EventsPerSecond returns the lifetime average engine rate (0 before
+// the first run completes).
+func (m *Meter) EventsPerSecond() float64 {
+	s := m.BusySeconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(m.Events()) / s
+}

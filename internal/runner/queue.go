@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrQueueClosed is returned by Submit once Close or Drain has been
@@ -23,6 +24,13 @@ var ErrQueueClosed = errors.New("runner: queue closed")
 // record whatever terminal state its owner expects, rather than silently
 // vanishing from the queue.
 type Queue struct {
+	// OnStart, when non-nil, is called on the worker goroutine each time
+	// it picks a job up, with how long the job sat pending — the queue-
+	// wait observation the daemon's latency histograms want, measured by
+	// the component that actually owns the wait. Set it before the first
+	// Submit; it must not block.
+	OnStart func(waited time.Duration)
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signals: work queued, or closed
 	idle    *sync.Cond // signals: a worker finished a job (for Drain)
@@ -31,10 +39,12 @@ type Queue struct {
 	closed  bool
 }
 
-// queuedJob is one submitted unit: the job function and its context.
+// queuedJob is one submitted unit: the job function, its context, and
+// when it entered the queue.
 type queuedJob struct {
-	ctx context.Context
-	fn  func(context.Context)
+	ctx      context.Context
+	fn       func(context.Context)
+	enqueued time.Time
 }
 
 // NewQueue starts a queue with the given number of workers (minimum 1).
@@ -65,7 +75,7 @@ func (q *Queue) Submit(ctx context.Context, fn func(context.Context)) error {
 	if q.closed {
 		return ErrQueueClosed
 	}
-	q.pending = append(q.pending, queuedJob{ctx: ctx, fn: fn})
+	q.pending = append(q.pending, queuedJob{ctx: ctx, fn: fn, enqueued: time.Now()})
 	q.cond.Signal()
 	return nil
 }
@@ -131,8 +141,12 @@ func (q *Queue) worker() {
 		job := q.pending[0]
 		q.pending = q.pending[1:]
 		q.active++
+		onStart := q.OnStart
 		q.mu.Unlock()
 
+		if onStart != nil {
+			onStart(time.Since(job.enqueued))
+		}
 		job.fn(job.ctx)
 
 		q.mu.Lock()

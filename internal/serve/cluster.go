@@ -29,7 +29,9 @@ func (s *Server) storeGet(key string) (uc.Result, bool) {
 	if s.store == nil {
 		return uc.Result{}, false
 	}
+	start := time.Now()
 	blob, ok, err := s.store.Get(key)
+	s.lat.storeRead.ObserveSince(start)
 	if err != nil || !ok {
 		return uc.Result{}, false
 	}
@@ -51,15 +53,29 @@ func (s *Server) storePut(key string, res uc.Result) {
 	if err != nil {
 		return
 	}
+	start := time.Now()
 	_ = s.store.Put(key, blob)
+	s.lat.storeWrite.ObserveSince(start)
 }
 
 // remoteExecute forwards a run to its owning daemon and returns the
 // owner's result. The bit-identity contract holds across the hop: the
 // owner executes (or serves from cache) the exact same defaulted
-// configuration, and Results round-trip JSON losslessly.
-func (s *Server) remoteExecute(ctx context.Context, owner string, r uc.Run) (uc.Result, error) {
-	return s.peers[owner].Execute(ctx, r)
+// configuration, and Results round-trip JSON losslessly. ctx carries the
+// request ID, which the peer client stamps on the forwarded request, so
+// the hop shows up under the same ID in the owner's logs.
+func (s *Server) remoteExecute(ctx context.Context, owner, key string, r uc.Run) (uc.Result, error) {
+	start := time.Now()
+	res, err := s.peers[owner].Execute(ctx, r)
+	dur := time.Since(start)
+	s.lat.peer.With("proxy").Observe(dur.Seconds())
+	lg := s.reqLog(ctx).With("run_key", keyPrefix(key), "owner", owner, "dur_ms", durMillis(dur))
+	if err != nil {
+		lg.Warn("proxy to owner failed", "error", err.Error())
+	} else {
+		lg.Info("proxied to owner")
+	}
+	return res, err
 }
 
 // peerFill asks the other members for a cached result before this
@@ -75,9 +91,14 @@ func (s *Server) peerFill(ctx context.Context, key string) (uc.Result, bool) {
 			continue // self
 		}
 		lctx, cancel := context.WithTimeout(ctx, peerFillTimeout)
+		start := time.Now()
 		res, ok, err := cl.LookupResult(lctx, key)
 		cancel()
+		s.lat.peer.With("peer-fill").ObserveSince(start)
 		if err == nil && ok {
+			s.reqLog(ctx).Info("peer fill",
+				"run_key", keyPrefix(key), "peer", n,
+				"dur_ms", durMillis(time.Since(start)))
 			return res, true
 		}
 	}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,8 +15,28 @@ import (
 	uc "unisoncache"
 	"unisoncache/client"
 	"unisoncache/internal/cluster"
+	"unisoncache/internal/obs"
 	"unisoncache/internal/store"
 )
+
+// logBuffer is a mutex-guarded writer capturing a node's structured
+// logs for grepping.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // cnode is one in-process cluster member.
 type cnode struct {
@@ -22,6 +45,7 @@ type cnode struct {
 	url     string
 	execs   atomic.Int64  // simulations this node actually ran
 	handler *atomic.Value // swap target, so URLs exist before Servers
+	logs    *logBuffer    // the node's JSON structured log
 }
 
 // startCluster brings up n daemons sharing one ring. Listeners start
@@ -69,10 +93,16 @@ func (nd *cnode) boot(t *testing.T, urls, dirs []string) {
 			t.Fatal(err)
 		}
 	}
+	nd.logs = &logBuffer{}
+	lg, err := obs.NewLogger(nd.logs, obs.LogJSON, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := New(Config{
-		Self:  nd.url,
-		Peers: urls,
-		Store: st,
+		Self:   nd.url,
+		Peers:  urls,
+		Store:  st,
+		Logger: lg,
 		Execute: func(r uc.Run) (uc.Result, error) {
 			nd.execs.Add(1)
 			return fakeExecute(r)
@@ -402,3 +432,114 @@ func TestCacheByteBounded(t *testing.T) {
 func key(i int) string { return "key-" + itoa(i) }
 
 func itoa(i int) string { return string(rune('0' + i)) }
+
+// findJobByRequestID locates a node's job record carrying id.
+func findJobByRequestID(s *Server, id string) (client.Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if snap := j.snapshot(); snap.RequestID == id {
+			return snap, true
+		}
+	}
+	return client.Job{}, false
+}
+
+// hasSpan reports whether the timeline contains a span for stage.
+func hasSpan(spans []client.Span, stage string) bool {
+	for _, s := range spans {
+		if s.Stage == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterRequestTracePropagation: one logical run shares one request
+// ID across every hop it takes through the cluster — the edge daemon's
+// job record, the proxy hop to the owner, the owner's job record, and
+// the peer-fill lookups — and the ID lands in every involved daemon's
+// structured log.
+func TestClusterRequestTracePropagation(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	point := smallRun(uc.DesignUnison)
+	owner := ownerIndex(t, nodes, mustKey(t, point))
+	other, third := (owner+1)%3, (owner+2)%3
+	ctx := context.Background()
+
+	// Plant the result on the third node, so the owner will peer-fill.
+	planted := client.New(nodes[third].url)
+	planted.Header = http.Header{forwardedHeader: []string{"1"}}
+	if _, err := planted.Execute(ctx, point); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit to a non-owner with an explicit request ID: the edge proxies
+	// to the owner, which fills from the third node's cache — three
+	// daemons, one ID.
+	tctx, id := obs.EnsureRequestID(ctx)
+	if _, err := client.New(nodes[other].url).Execute(tctx, point); err != nil {
+		t.Fatal(err)
+	}
+
+	edgeJob, ok := findJobByRequestID(nodes[other].s, id)
+	if !ok {
+		t.Fatalf("edge node has no job for request %s", id)
+	}
+	if !hasSpan(edgeJob.Spans, "proxied") {
+		t.Errorf("edge job spans %v missing 'proxied'", edgeJob.Spans)
+	}
+	for _, stage := range []string{"received", "queued", "done"} {
+		if !hasSpan(edgeJob.Spans, stage) {
+			t.Errorf("edge job spans missing %q: %v", stage, edgeJob.Spans)
+		}
+	}
+	ownerJob, ok := findJobByRequestID(nodes[owner].s, id)
+	if !ok {
+		t.Fatalf("owner has no job for request %s — the proxy hop dropped the ID", id)
+	}
+	if !hasSpan(ownerJob.Spans, "peer-fill") {
+		t.Errorf("owner job spans %v missing 'peer-fill'", ownerJob.Spans)
+	}
+
+	// The ID must appear in all three daemons' logs: edge POST, owner's
+	// forwarded POST, and the planted node's GET /v1/results lookup.
+	for i, nd := range nodes {
+		if !strings.Contains(nd.logs.String(), id) {
+			t.Errorf("node %d log has no trace of request %s:\n%s", i, id, nd.logs.String())
+		}
+	}
+
+	// Same contract through the fan-out cluster client: a fresh run
+	// submitted via client.NewCluster routes to its owner, whose
+	// peer-fill probes touch the other members — the minted ID shows up
+	// on all three daemons.
+	point2 := smallRun(uc.DesignIdeal)
+	point2.Capacity = 512 << 20
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	cc, err := client.NewCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, id2 := obs.EnsureRequestID(ctx)
+	if _, err := cc.Execute(cctx, point2); err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range nodes {
+		if !strings.Contains(nd.logs.String(), id2) {
+			t.Errorf("cluster-client run: node %d log has no trace of %s", i, id2)
+		}
+	}
+
+	// The response header echoes the ID.
+	req, _ := http.NewRequestWithContext(tctx, http.MethodGet, nodes[other].url+"/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "feedfacefeedface")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "feedfacefeedface" {
+		t.Errorf("response echoed request ID %q, want the caller's", got)
+	}
+}

@@ -6,15 +6,20 @@ import (
 
 	uc "unisoncache"
 	"unisoncache/client"
+	"unisoncache/internal/obs"
 )
 
 // job is one submitted request's server-side state. All mutation goes
 // through the setter methods, which notify event subscribers; snapshots
 // are what every HTTP response returns.
 type job struct {
-	id     string
-	kind   string
-	cancel context.CancelFunc
+	id        string
+	kind      string
+	requestID string
+	cancel    context.CancelFunc
+	// tl is the job's span timeline (received → queued → execution
+	// stages → terminal), internally synchronized.
+	tl *obs.Timeline
 
 	mu        sync.Mutex
 	state     string
@@ -28,19 +33,34 @@ type job struct {
 	subs      map[chan struct{}]struct{}
 }
 
-func newJob(id, kind string, total int, cancel context.CancelFunc) *job {
-	return &job{
-		id:     id,
-		kind:   kind,
-		total:  total,
-		state:  client.StateQueued,
-		cancel: cancel,
-		subs:   make(map[chan struct{}]struct{}),
+func newJob(id, kind string, total int, requestID string, cancel context.CancelFunc) *job {
+	j := &job{
+		id:        id,
+		kind:      kind,
+		requestID: requestID,
+		total:     total,
+		state:     client.StateQueued,
+		cancel:    cancel,
+		tl:        obs.NewTimeline(),
+		subs:      make(map[chan struct{}]struct{}),
 	}
+	j.tl.Mark("received")
+	return j
+}
+
+// spans renders the timeline in wire form.
+func (j *job) spans() []client.Span {
+	src := j.tl.Spans()
+	out := make([]client.Span, len(src))
+	for i, s := range src {
+		out[i] = client.Span{Stage: s.Stage, Start: s.Start, Dur: s.Dur}
+	}
+	return out
 }
 
 // snapshot renders the job as its wire form.
 func (j *job) snapshot() client.Job {
+	spans := j.spans()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return client.Job{
@@ -51,6 +71,8 @@ func (j *job) snapshot() client.Job {
 		Total:     j.total,
 		CacheHits: j.cacheHits,
 		Error:     j.errText,
+		RequestID: j.requestID,
+		Spans:     spans,
 		Result:    j.result,
 		Results:   j.results,
 		Speedups:  j.speedups,
@@ -124,12 +146,15 @@ func (j *job) markCanceledIfQueued() {
 	}
 	j.state = client.StateCanceled
 	j.errText = "canceled while queued"
+	j.tl.Mark(client.StateCanceled)
 	j.notifyLocked()
 }
 
 // finish records the terminal state: canceled if the job's context was
 // canceled, failed on err, done otherwise. The results arguments mirror
-// the wire contract (exactly one non-nil on success).
+// the wire contract (exactly one non-nil on success). The terminal state
+// is also the timeline's closing span, so the job record reads
+// received → queued → stages → done end to end.
 func (j *job) finish(ctx context.Context, err error, result *uc.Result, results []uc.Result, speedups []uc.SpeedupResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -149,5 +174,6 @@ func (j *job) finish(ctx context.Context, err error, result *uc.Result, results 
 		j.results = results
 		j.speedups = speedups
 	}
+	j.tl.Mark(j.state)
 	j.notifyLocked()
 }

@@ -3,12 +3,17 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
+
+	"unisoncache/client"
+	"unisoncache/internal/obs"
 )
 
 // metrics is the daemon's counter set, exposed on GET /metrics in the
-// Prometheus text exposition format (flat counters and gauges, no labels,
-// no dependencies).
+// Prometheus text exposition format (flat counters and gauges, no
+// dependencies).
 type metrics struct {
 	cacheHits     atomic.Uint64 // executions served from the in-memory result cache
 	cacheMisses   atomic.Uint64 // executions that actually simulated here
@@ -22,14 +27,62 @@ type metrics struct {
 	jobsCanceled  atomic.Uint64
 }
 
-// handleMetrics renders every counter plus the live gauges.
+// latencies is the daemon's histogram set: fixed-bucket Prometheus-text
+// histograms (internal/obs) over every latency the cluster story cares
+// about. All observations are whole-operation durations recorded at the
+// service layer — nothing here runs inside the replay hot path.
+type latencies struct {
+	// http is per-endpoint request latency, labeled by route pattern.
+	http *obs.Vec
+	// queueWait is how long jobs sat queued before a worker picked them
+	// up (fed by the runner queue's OnStart hook).
+	queueWait *obs.Histogram
+	// execute is the wall-clock duration of actual simulations (cache
+	// misses that ran the engine).
+	execute *obs.Histogram
+	// storeRead / storeWrite are persistent-store operation latencies.
+	storeRead  *obs.Histogram
+	storeWrite *obs.Histogram
+	// peer is cluster round-trip latency, labeled by hop kind
+	// ("proxy" for forwarding to the owner, "peer-fill" for cache
+	// lookups on other members).
+	peer *obs.Vec
+}
+
+func newLatencies() *latencies {
+	return &latencies{
+		http:       obs.NewVec("unisonserved_http_request_seconds", "HTTP request latency by route.", "route", nil),
+		queueWait:  obs.NewHistogram("unisonserved_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", nil),
+		execute:    obs.NewHistogram("unisonserved_execute_seconds", "Wall-clock duration of simulations executed on this daemon.", nil),
+		storeRead:  obs.NewHistogram("unisonserved_store_read_seconds", "Persistent result store read latency.", nil),
+		storeWrite: obs.NewHistogram("unisonserved_store_write_seconds", "Persistent result store write latency.", nil),
+		peer:       obs.NewVec("unisonserved_peer_roundtrip_seconds", "Cluster round-trip latency by hop kind.", "op", nil),
+	}
+}
+
+// buildVersion resolves the daemon's module version from the binary's
+// embedded build info ("(devel)" for a plain go build / go test).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// handleMetrics renders every counter, gauge and histogram.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	counterFloat := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
 	gauge := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeFloat := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 	counter("unisonserved_cache_hits_total", "Run executions served from the in-memory content-addressed result cache.", s.m.cacheHits.Load())
 	counter("unisonserved_cache_misses_total", "Run executions that simulated on this daemon (cache fill).", s.m.cacheMisses.Load())
@@ -54,4 +107,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		draining = 1
 	}
 	gauge("unisonserved_draining", "1 while the daemon is draining for shutdown.", draining)
+
+	// Engine throughput: cumulative events/busy-time fed by the runner
+	// per completed simulation, plus the derived lifetime rate.
+	counter("unisonserved_engine_events_total", "Trace events replayed by simulations on this daemon.", s.meter.Events())
+	counter("unisonserved_engine_runs_total", "Simulations executed by the engine on this daemon.", s.meter.Runs())
+	counterFloat("unisonserved_engine_busy_seconds_total", "Cumulative wall-clock seconds spent simulating.", s.meter.BusySeconds())
+	gaugeFloat("unisonserved_engine_events_per_second", "Lifetime average engine replay rate in events per second.", s.meter.EventsPerSecond())
+	done, total := s.runningProgress()
+	gaugeFloat("unisonserved_replay_progress_ratio", "Completed fraction of executions across currently running jobs (0 when idle).", progressRatio(done, total))
+
+	// Build provenance, matching the fields cmd/bench records in
+	// BENCH_core.json.
+	fmt.Fprintf(w, "# HELP unisonserved_build_info Build provenance of the running daemon.\n# TYPE unisonserved_build_info gauge\n")
+	fmt.Fprintf(w, "unisonserved_build_info{version=%q,go_version=%q,cores_available=\"%d\"} 1\n",
+		buildVersion(), runtime.Version(), runtime.NumCPU())
+
+	// Latency histograms last: families render contiguously.
+	s.lat.http.Write(w)
+	s.lat.queueWait.Write(w)
+	s.lat.execute.Write(w)
+	if s.store != nil {
+		s.lat.storeRead.Write(w)
+		s.lat.storeWrite.Write(w)
+	}
+	s.lat.peer.Write(w)
+}
+
+// runningProgress sums done/total across currently running jobs.
+func (s *Server) runningProgress() (done, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if snap := j.snapshot(); snap.State == client.StateRunning {
+			done += snap.Done
+			total += snap.Total
+		}
+	}
+	return done, total
+}
+
+// progressRatio is done/total guarded against idle (0/0) and the
+// sampled-refinement case where done overshoots the planned total.
+func progressRatio(done, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if done > total {
+		return 1
+	}
+	return float64(done) / float64(total)
 }

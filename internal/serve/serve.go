@@ -11,8 +11,17 @@
 //	GET  /v1/jobs/{id}        job status + results      → Job
 //	GET  /v1/jobs/{id}/events NDJSON progress stream    → Event lines
 //	DELETE /v1/jobs/{id}      cancel a job              → Job
-//	GET  /healthz             liveness + drain state    → Health
-//	GET  /metrics             Prometheus text counters
+//	GET  /healthz             readiness (503 draining)  → Health
+//	GET  /livez               liveness (always 200)     → Health
+//	GET  /metrics             Prometheus text counters + histograms
+//
+// Observability (DESIGN.md §14): every request carries an ID
+// (X-Unison-Request-Id, minted at the edge when absent) that propagates
+// through proxy one-hops, peer cache fills and the job record, whose
+// span timeline (received → queued → execution stage → done) is served
+// on the job endpoints. Latency histograms cover HTTP requests, queue
+// wait, execution, store I/O and cluster hops; structured logs
+// (log/slog) carry the request ID, run-key prefix and member name.
 //
 // Determinism contract: every result the service returns is bit-identical
 // to calling Execute / ExecuteMany / SpeedupMany / SweepSampled in
@@ -30,15 +39,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	uc "unisoncache"
 	"unisoncache/client"
 	"unisoncache/internal/cluster"
+	"unisoncache/internal/obs"
 	"unisoncache/internal/runner"
 	"unisoncache/internal/store"
 )
@@ -46,6 +58,18 @@ import (
 // maxRequestBytes bounds submit-request bodies (a 100k-point sweep is
 // ~50 MB of JSON; nobody legitimate sends that).
 const maxRequestBytes = 8 << 20
+
+// Execution-stage span names: how one run execution was satisfied.
+// These are the stages the job timeline records after "queued", and the
+// vocabulary DESIGN.md §14 documents.
+const (
+	srcCacheHit  = "cache-hit" // served from the in-memory result cache
+	srcCoalesced = "coalesced" // joined a concurrent identical execution
+	srcStoreHit  = "store-hit" // read from the persistent store
+	srcPeerFill  = "peer-fill" // fetched from a cluster peer's cache
+	srcProxied   = "proxied"   // forwarded to the owning daemon
+	srcSimulated = "simulated" // actually executed the engine here
+)
 
 // Config parameterizes a Server.
 type Config struct {
@@ -87,6 +111,16 @@ type Config struct {
 	// owner. Empty means single-node, no routing.
 	Self  string
 	Peers []string
+
+	// Logger receives the daemon's structured logs. Nil discards them
+	// (the in-process test default); cmd/unisonserved wires a text or
+	// JSON slog logger per -log-format. Per-request loggers derive from
+	// it, carrying the request ID, run-key prefix and member name.
+	Logger *slog.Logger
+	// SlowThreshold, when > 0, logs any HTTP request slower than this at
+	// warning level (the NDJSON events stream is exempt — holding it
+	// open for a job's lifetime is waiting, not work).
+	SlowThreshold time.Duration
 }
 
 // Server is the simulation service. Create with New, expose with
@@ -98,6 +132,10 @@ type Server struct {
 	cache   *resultCache
 	store   *store.Store
 	m       metrics
+	lat     *latencies
+	meter   obs.Meter
+	log     *slog.Logger
+	slow    time.Duration
 
 	// Cluster routing (nil ring = single-node).
 	self  string
@@ -129,17 +167,30 @@ func New(cfg Config) *Server {
 	if execute == nil {
 		execute = uc.Execute
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:     cfg,
 		execute: execute,
 		queue:   runner.NewQueue(workers),
 		cache:   newResultCache(cacheBytes),
 		store:   cfg.Store,
+		lat:     newLatencies(),
+		log:     logger,
+		slow:    cfg.SlowThreshold,
 		jobs:    make(map[string]*job),
+	}
+	// Queue wait is measured by the runner itself: the hook fires when a
+	// worker picks a job up, with the time it sat pending.
+	s.queue.OnStart = func(waited time.Duration) {
+		s.lat.queueWait.Observe(waited.Seconds())
 	}
 	if self := strings.TrimRight(cfg.Self, "/"); self != "" && len(cfg.Peers) > 0 {
 		ring := cluster.New(append([]string{self}, cfg.Peers...), 0)
 		s.self, s.ring = self, ring
+		s.log = s.log.With("member", self)
 		s.peers = make(map[string]*client.Client)
 		for _, n := range ring.Nodes() {
 			if n == self {
@@ -148,7 +199,8 @@ func New(cfg Config) *Server {
 			cl := client.New(n)
 			// Every daemon-to-daemon request carries the forwarded
 			// marker, so the receiver executes locally instead of
-			// routing again — one hop maximum, no proxy loops.
+			// routing again — one hop maximum, no proxy loops. The
+			// request ID rides along per call from the context.
 			cl.Header = http.Header{forwardedHeader: []string{"1"}}
 			s.peers[n] = cl
 		}
@@ -156,7 +208,9 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler: the API mux wrapped in
+// the observability middleware (request IDs, per-route latency
+// histograms, structured request logs).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
@@ -166,8 +220,112 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// routeLabel normalizes a request path onto the fixed route-pattern
+// vocabulary the per-endpoint histogram is labeled with — bounded
+// cardinality without needing the mux's matched pattern.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/runs", path == "/v1/sweeps",
+		path == "/healthz", path == "/livez", path == "/metrics":
+		return path
+	case strings.HasPrefix(path, "/v1/results/"):
+		return "/v1/results/{key}"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		if strings.HasSuffix(path, "/events") {
+			return "/v1/jobs/{id}/events"
+		}
+		return "/v1/jobs/{id}"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response code for logging and forwards
+// Flush so the NDJSON events stream keeps streaming through the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument is the observability middleware: it adopts the caller's
+// request ID (or mints one at this edge), echoes it on the response,
+// installs it in the request context for everything downstream — job
+// records, proxy hops, peer fills — observes the per-route latency
+// histogram, and writes the structured request log line. Read-only
+// probe endpoints log at debug so an idle daemon's log stays quiet at
+// the default level; submissions, cancels and cluster lookups log at
+// info.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		w.Header().Set(obs.RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		route := routeLabel(r.URL.Path)
+		s.lat.http.With(route).Observe(dur.Seconds())
+		level := slog.LevelDebug
+		switch route {
+		case "/healthz", "/livez", "/metrics", "/v1/jobs/{id}", "/v1/jobs/{id}/events":
+		default:
+			// Submissions, cancels and cluster result lookups are the
+			// cross-node traffic whose IDs operators grep for.
+			level = slog.LevelInfo
+		}
+		lg := s.log.With("req_id", id)
+		lg.Log(ctx, level, "http request",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"status", sw.code, "dur_ms", durMillis(dur))
+		if s.slow > 0 && dur >= s.slow && route != "/v1/jobs/{id}/events" {
+			lg.Warn("slow request",
+				"method", r.Method, "route", route, "path", r.URL.Path,
+				"status", sw.code, "dur_ms", durMillis(dur), "threshold", s.slow.String())
+		}
+	})
+}
+
+// durMillis renders a duration as fractional milliseconds for log
+// lines.
+func durMillis(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// reqLog returns the per-request logger: the daemon logger plus the
+// context's request ID.
+func (s *Server) reqLog(ctx context.Context) *slog.Logger {
+	return s.log.With("req_id", obs.RequestIDFrom(ctx))
+}
+
+// keyPrefix shortens a run key for log lines (the full key is a
+// 64-char SHA-256 hex).
+func keyPrefix(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Drain flips the daemon into shutdown: new submissions are rejected with
@@ -176,15 +334,19 @@ func (s *Server) Handler() http.Handler {
 // HTTP listener so SIGTERM never abandons accepted work.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.Info("draining", "queued", s.queue.Len(), "active", s.queue.Active())
 	return s.queue.Drain(ctx)
 }
 
 // executeRun is the service's single-run execution path: canonical key,
-// cache lookup, cluster routing, in-flight dedup, metrics.
-func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res uc.Result, hit bool, err error) {
+// cache lookup, cluster routing, in-flight dedup, metrics. cached
+// reports the execution cost nothing here (memory cache hit or
+// coalesced onto an in-flight one); source is the execution-stage span
+// name recorded on the job timeline.
+func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res uc.Result, cached bool, source string, err error) {
 	key, err := uc.RunKey(r)
 	if err != nil {
-		return uc.Result{}, false, err
+		return uc.Result{}, false, "", err
 	}
 	return s.executeKeyed(ctx, key, r, forwarded)
 }
@@ -197,30 +359,48 @@ func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res 
 // daemon is the owner), then simulation — so re-simulating is strictly
 // the last resort. forwarded marks a request already routed by a peer
 // daemon, which must execute here (one hop maximum, no proxy loops).
-func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forwarded bool) (res uc.Result, hit bool, err error) {
+func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forwarded bool) (res uc.Result, cached bool, source string, err error) {
+	source = srcSimulated
 	res, hit, shared, err := s.cache.do(key, func() (uc.Result, error) {
 		if res, ok := s.storeGet(key); ok {
 			s.m.storeHits.Add(1)
+			source = srcStoreHit
 			return res, nil
 		}
-		if s.ring != nil && !forwarded {
+		if s.ring != nil {
 			if owner := s.ring.Owner(key); owner != s.self {
-				if res, err := s.remoteExecute(ctx, owner, r); err == nil {
-					s.m.proxied.Add(1)
-					return res, nil
+				if !forwarded {
+					if res, err := s.remoteExecute(ctx, owner, key, r); err == nil {
+						s.m.proxied.Add(1)
+						source = srcProxied
+						return res, nil
+					}
+					// Owner unreachable: fall back to executing locally —
+					// availability over placement; the result is still
+					// correct, just cached off its home node.
 				}
-				// Owner unreachable: fall back to executing locally —
-				// availability over placement; the result is still
-				// correct, just cached off its home node.
+				// A forwarded request landing off-owner executes here (one
+				// hop maximum, no proxy loops).
 			} else if res, ok := s.peerFill(ctx, key); ok {
+				// The owner checks peer caches before simulating whether
+				// the request arrived directly or via a proxy hop — peer
+				// fill is a pure lookup, so it cannot loop.
 				s.m.peerFills.Add(1)
+				source = srcPeerFill
 				s.storePut(key, res)
 				return res, nil
 			}
 		}
 		s.m.cacheMisses.Add(1)
+		start := time.Now()
 		res, err := s.execute(r)
+		dur := time.Since(start)
+		s.lat.execute.Observe(dur.Seconds())
 		if err == nil {
+			// Feed the engine meter: events = the defaulted run's trace
+			// length (echoed on the result), accounted once per
+			// simulation — never per event.
+			s.meter.RecordRun(uint64(res.Run.AccessesPerCore)*uint64(max(res.Run.Cores, 0)), dur)
 			s.storePut(key, res)
 		}
 		return res, err
@@ -228,16 +408,20 @@ func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forward
 	switch {
 	case hit:
 		s.m.cacheHits.Add(1)
+		source = srcCacheHit
 	case shared:
 		s.m.coalesced.Add(1)
+		source = srcCoalesced
 	}
-	return res, hit || shared, err
+	return res, hit || shared, source, err
 }
 
-// newJobLocked allocates the next job ID; the caller holds s.mu.
-func (s *Server) newJobLocked(kind string, total int, cancel context.CancelFunc) *job {
+// newJobLocked allocates the next job ID; the caller holds s.mu. The
+// job adopts the request's ID and starts its span timeline at
+// "received".
+func (s *Server) newJobLocked(kind string, total int, requestID string, cancel context.CancelFunc) *job {
 	s.seq++
-	j := newJob("j"+strconv.Itoa(s.seq), kind, total, cancel)
+	j := newJob("j"+strconv.Itoa(s.seq), kind, total, requestID, cancel)
 	s.jobs[j.id] = j
 	return j
 }
@@ -268,10 +452,14 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	requestID := obs.RequestIDFrom(r.Context())
+	// The job outlives the HTTP request, so its context derives from the
+	// background — but it keeps carrying the request ID, which is what
+	// threads the ID through proxy hops and peer fills during execution.
+	ctx, cancel := context.WithCancel(obs.WithRequestID(context.Background(), requestID))
 
 	s.mu.Lock()
-	j := s.newJobLocked("run", 1, cancel)
+	j := s.newJobLocked("run", 1, requestID, cancel)
 	s.mu.Unlock()
 	s.m.jobsSubmitted.Add(1)
 
@@ -283,18 +471,25 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	// is carried into the job, which fails with it.
 	key, keyErr := uc.RunKey(run)
 	if keyErr == nil {
+		s.reqLog(r.Context()).Info("run submitted",
+			"job", j.id, "run_key", keyPrefix(key),
+			"workload", run.Workload, "design", string(run.Design), "forwarded", forwarded)
 		// Cached fast path: a result the daemon already holds — in
 		// memory or on disk — answers the submission synchronously: one
 		// round trip, no queue. The store check is what lets a freshly
 		// restarted daemon keep answering its history in one hop.
+		lookup := time.Now()
 		res, ok := s.cache.get(key)
+		source := srcCacheHit
 		if ok {
 			s.m.cacheHits.Add(1)
 		} else if res, ok = s.storeGet(key); ok {
 			s.m.storeHits.Add(1)
+			source = srcStoreHit
 			s.cache.put(key, res)
 		}
 		if ok {
+			j.tl.Observe(source, lookup)
 			j.recordExecution(true)
 			j.finish(ctx, nil, &res, nil, nil)
 			s.countFinished(j)
@@ -302,17 +497,24 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	submitted := time.Now()
 	work := func(ctx context.Context) {
+		j.tl.Observe("queued", submitted)
 		j.setRunning()
 		var result *uc.Result
-		res, hit, err := uc.Result{}, false, ctx.Err()
+		res, cached, err := uc.Result{}, false, ctx.Err()
 		if err == nil {
 			if err = keyErr; err == nil {
-				res, hit, err = s.executeKeyed(ctx, key, run, forwarded)
+				var source string
+				start := time.Now()
+				res, cached, source, err = s.executeKeyed(ctx, key, run, forwarded)
+				if err == nil {
+					j.tl.Observe(source, start)
+				}
 			}
 		}
 		if err == nil {
-			j.recordExecution(hit)
+			j.recordExecution(cached)
 			result = &res
 		}
 		j.finish(ctx, err, result, nil, nil)
@@ -358,14 +560,20 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		total *= 2 // each point plus its (memoized) baseline — an upper bound
 	}
 	forwarded := r.Header.Get(forwardedHeader) != ""
-	ctx, cancel := context.WithCancel(context.Background())
+	requestID := obs.RequestIDFrom(r.Context())
+	ctx, cancel := context.WithCancel(obs.WithRequestID(context.Background(), requestID))
 
 	s.mu.Lock()
-	j := s.newJobLocked("sweep", total, cancel)
+	j := s.newJobLocked("sweep", total, requestID, cancel)
 	s.mu.Unlock()
 	s.m.jobsSubmitted.Add(1)
+	s.reqLog(r.Context()).Info("sweep submitted",
+		"job", j.id, "points", len(req.Points), "mode", req.Mode,
+		"sampled", req.Sample != nil, "forwarded", forwarded)
 
+	submitted := time.Now()
 	work := func(ctx context.Context) {
+		j.tl.Observe("queued", submitted)
 		j.setRunning()
 		plan := uc.Plan{
 			Points: req.Points,
@@ -374,9 +582,11 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 				if err := ctx.Err(); err != nil {
 					return uc.Result{}, context.Cause(ctx)
 				}
-				res, hit, err := s.executeRun(ctx, run, forwarded)
+				start := time.Now()
+				res, cached, source, err := s.executeRun(ctx, run, forwarded)
 				if err == nil {
-					j.recordExecution(hit)
+					j.tl.Observe(source, start)
+					j.recordExecution(cached)
 				}
 				return res, err
 			},
@@ -411,7 +621,8 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 // bound. (The result cache keeps serving the underlying runs either
 // way; only the job records age out.)
 func (s *Server) countFinished(j *job) {
-	switch j.snapshot().State {
+	snap := j.snapshot()
+	switch snap.State {
 	case client.StateDone:
 		s.m.jobsDone.Add(1)
 	case client.StateFailed:
@@ -419,6 +630,10 @@ func (s *Server) countFinished(j *job) {
 	case client.StateCanceled:
 		s.m.jobsCanceled.Add(1)
 	}
+	s.log.Info("job finished",
+		"req_id", snap.RequestID, "job", j.id, "kind", j.kind,
+		"state", snap.State, "done", snap.Done, "cache_hits", snap.CacheHits,
+		"error", snap.Error)
 	s.mu.Lock()
 	s.finished = append(s.finished, j.id)
 	for len(s.finished) > s.cfg.JobHistory {
@@ -462,6 +677,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's progress as NDJSON: the current state
 // immediately, a line per change, the terminal line last, then EOF.
+// Every line carries the job's request ID and current span timeline.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(w, r)
 	if j == nil {
@@ -476,7 +692,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer unsubscribe()
 	for {
 		snap := j.snapshot()
-		if err := enc.Encode(client.Event{State: snap.State, Done: snap.Done, Total: snap.Total, Error: snap.Error}); err != nil {
+		e := client.Event{
+			State: snap.State, Done: snap.Done, Total: snap.Total,
+			Error: snap.Error, RequestID: snap.RequestID, Spans: snap.Spans,
+		}
+		if err := enc.Encode(e); err != nil {
 			return
 		}
 		if flusher != nil {
@@ -493,13 +713,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports liveness and drain state.
+// handleHealthz is the readiness probe: 200 while the daemon accepts
+// work, 503 with Ready=false once it is draining — load balancers stop
+// routing to a member the moment it starts shutting down, while /livez
+// keeps reporting the process alive.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := client.Health{Status: "ok", Draining: s.draining.Load()}
-	if h.Draining {
+	draining := s.draining.Load()
+	h := client.Health{Status: "ok", Ready: !draining, Draining: draining}
+	code := http.StatusOK
+	if draining {
 		h.Status = "draining"
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, h)
+	writeJSON(w, code, h)
+}
+
+// handleLivez is the liveness probe: 200 for as long as the process
+// serves HTTP, draining or not.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{Status: "ok", Ready: !s.draining.Load(), Draining: s.draining.Load()})
 }
 
 // DecodeRunRequest strictly decodes a POST /v1/runs body: unknown JSON
