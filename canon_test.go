@@ -27,12 +27,13 @@ func TestRunKeyIsDefaultedIdentity(t *testing.T) {
 	}
 	// Any stream- or design-shaping difference must change the key.
 	for name, mod := range map[string]func(*Run){
-		"workload": func(r *Run) { r.Workload = "data-serving" },
-		"design":   func(r *Run) { r.Design = DesignAlloy },
-		"capacity": func(r *Run) { r.Capacity = 2 << 30 },
-		"seed":     func(r *Run) { r.Seed = 2 },
-		"ways":     func(r *Run) { r.UnisonWays = 32 },
-		"sampling": func(r *Run) { r.Sampling = DefaultSampleSpec() },
+		"workload":  func(r *Run) { r.Workload = "data-serving" },
+		"design":    func(r *Run) { r.Design = DesignAlloy },
+		"capacity":  func(r *Run) { r.Capacity = 2 << 30 },
+		"seed":      func(r *Run) { r.Seed = 2 },
+		"ways":      func(r *Run) { r.UnisonWays = 32 },
+		"sampling":  func(r *Run) { r.Sampling = DefaultSampleSpec() },
+		"telemetry": func(r *Run) { r.Telemetry = DefaultTelemetrySpec() },
 	} {
 		r := implicit
 		mod(&r)
@@ -57,6 +58,7 @@ func TestBaselineRunCanonicalization(t *testing.T) {
 		func(r *Run) { r.Design = DesignUnison; r.DisableWayPrediction = true },
 		func(r *Run) { r.Design = DesignUnison; r.SerializeTagData = true },
 		func(r *Run) { r.Design = DesignUnison; r.DisableSingleton = true },
+		func(r *Run) { r.Design = DesignUnison; r.Telemetry = DefaultTelemetrySpec() },
 	}
 	want := baselineRun(base)
 	for i, mod := range variants {

@@ -409,6 +409,47 @@ func (c *Client) followEvents(ctx context.Context, id string) (bool, error) {
 	}
 }
 
+// Telemetry follows the job's epoch timeline stream
+// (GET /v1/jobs/{id}/telemetry), invoking fn per TimelineEpoch in order
+// — live while the job runs, replayed from the job record once it
+// finished. It returns when the daemon closes the stream (the job turned
+// terminal and every epoch was delivered) or on transport error; a job
+// without telemetry returns immediately with no calls.
+func (c *Client) Telemetry(ctx context.Context, id string, fn func(uc.TimelineEpoch)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/telemetry", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.send(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return &apiError{Status: resp.StatusCode, Msg: "telemetry stream unavailable"}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e uc.TimelineEpoch
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		fn(e)
+	}
+}
+
+// CollectTelemetry follows the job's telemetry stream to completion and
+// returns its epochs in order.
+func (c *Client) CollectTelemetry(ctx context.Context, id string) ([]uc.TimelineEpoch, error) {
+	var out []uc.TimelineEpoch
+	err := c.Telemetry(ctx, id, func(e uc.TimelineEpoch) { out = append(out, e) })
+	return out, err
+}
+
 // await takes a fresh submission's (job, error) pair, waits for the
 // terminal state, and converts failed/canceled jobs into errors.
 func (c *Client) await(ctx context.Context, j Job, err error) (Job, error) {

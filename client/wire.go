@@ -77,6 +77,11 @@ type Job struct {
 	// and the terminal state — with offsets relative to receipt.
 	RequestID string `json:"request_id,omitempty"`
 	Spans     []Span `json:"spans,omitempty"`
+	// SpansDropped counts timeline spans the daemon's per-job cap
+	// discarded — nonzero means Spans is a truncated trace, not a short
+	// one (a 100k-point sweep records far more executions than the cap
+	// retains).
+	SpansDropped int `json:"spans_dropped,omitempty"`
 
 	Result   *uc.Result         `json:"result,omitempty"`
 	Results  []uc.Result        `json:"results,omitempty"`

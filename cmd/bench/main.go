@@ -21,6 +21,11 @@
 //     (the default machine mode), with batched_vs_serial recording the
 //     back-to-back speedup over SteadyReplay. The run fails (exit 1) if
 //     the ratio falls below -min-batched-ratio.
+//   - ReplayTelemetry/unison: the batched hot loop with epoch-sliced
+//     telemetry armed (the Run/BeginRun cursor, since Replay never
+//     records). telemetry_vs_batched is the back-to-back throughput
+//     ratio; the run fails (exit 1) if recording costs more than
+//     -max-telemetry-overhead of the batched cell's events/s.
 //
 // Usage:
 //
@@ -43,8 +48,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	uc "unisoncache"
 	"unisoncache/client"
@@ -52,6 +59,7 @@ import (
 	"unisoncache/internal/dram"
 	"unisoncache/internal/serve"
 	"unisoncache/internal/sim"
+	"unisoncache/internal/telemetry"
 	"unisoncache/internal/trace"
 )
 
@@ -88,6 +96,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-sized run: shorter traces, one pass")
 	maxSteadyAllocs := flag.Int64("max-steady-allocs", 0, "fail if SteadyReplay allocs/op exceed this (negative disables)")
 	minBatchedRatio := flag.Float64("min-batched-ratio", 0.8, "fail if ReplayBatched events/s fall below this fraction of SteadyReplay's (negative disables)")
+	maxTeleOverhead := flag.Float64("max-telemetry-overhead", 0.02, "fail if ReplayTelemetry events/s fall more than this fraction below ReplayBatched's (negative disables)")
 	flag.Parse()
 
 	accesses := 60_000
@@ -104,60 +113,155 @@ func main() {
 		Benchmarks:     map[string]Measurement{},
 	}
 
-	// SteadyReplay: the prewarmed hot loop alone. One op = batch events on
-	// every core; setup happens before the timer starts. Batching is forced
-	// off so the cell keeps its meaning across records — every pre-batching
-	// record measured the one-Access-per-request schedule. The steady cells
-	// run first, ahead of the minutes-long Fig7 cells, so the hot-loop
-	// numbers come from a freshly started, minimally perturbed process.
+	// The three steady cells: the prewarmed hot loop alone. One op = batch
+	// events on every core; setup happens before the timer starts. The
+	// steady cells run first, ahead of the minutes-long Fig7 cells, so the
+	// hot-loop numbers come from a freshly started, minimally perturbed
+	// process.
+	//
+	// Their exit guards police few-percent ratios, which single 1-second
+	// samples cannot resolve on a shared host — run-to-run swings of ±15%
+	// are routine on a noisy-neighbor container. So the cells are measured
+	// as many short timing samples taken round-robin across the three
+	// loops. The headline ns/op is each loop's minimum sample (the
+	// quiet-host cost — every sample a neighbor or GC perturbed is
+	// discarded). The guarded ratios are estimated directly from paired
+	// samples: each round's loops run ~10ms apart, so slow host drift
+	// hits both sides of a pair equally and cancels in the quotient; the
+	// median over all rounds then shrugs off the asymmetric spikes. The
+	// minimum-of-mins quotient cannot do this — its two minima come from
+	// different rounds, so ±3% estimator noise lands straight in a 2%
+	// guard band.
+	//
+	// The three machines also advance in lockstep: identical prewarm and
+	// identical op counts at every stage, never an adaptive benchmark
+	// loop. Per-event cost varies with trace phase (miss rates drift as
+	// the stream moves through its working set), so two machines at
+	// different stream positions measure different workloads — lockstep
+	// keeps every sampled pair on the same trace segment, leaving the
+	// drain mode as the only difference between cells.
 	const steadyBatch = 5_000
 	steadyCores := 16
-	m := steadyMachine(steadyCores)
+
+	// SteadyReplay: batching forced off so the cell keeps its meaning
+	// across records — every pre-batching record measured the
+	// one-Access-per-request schedule.
+	m := steadyMachine(steadyCores, 2.0/3.0)
 	m.SetBatching(false)
 	m.Replay(20_000)
-	var steady Measurement
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			m.Replay(steadyBatch)
+
+	// ReplayBatched: the batched drain path (the default) — design
+	// accesses accumulate in serial order and flush through AccessBatch.
+	mb := steadyMachine(steadyCores, 2.0/3.0)
+	mb.Replay(20_000)
+
+	// ReplayTelemetry: the batched hot loop with telemetry recording every
+	// 10k retired events per core. Replay() never arms telemetry, so this
+	// cell drives the same loop through the BeginRun/RunTo cursor with
+	// WarmupFrac 0 (measurement — and therefore recording — from step 0).
+	// The run is sized so the timed region never reaches TotalSteps: every
+	// timed op advances exactly steadyBatch events per core, the same work
+	// as the cells above.
+	const teleRunAccesses = 40_000_000
+	mt := steadyMachine(steadyCores, 0)
+	mt.SetTelemetry(telemetry.Spec{EpochEvents: 10_000}, nil)
+	mt.BeginRun(teleRunAccesses)
+	teleTarget := uint64(20_000) * uint64(steadyCores)
+	mt.RunTo(teleTarget)
+
+	steadyOps := []func(){
+		func() { m.Replay(steadyBatch) },
+		func() { mb.Replay(steadyBatch) },
+		func() {
+			teleTarget += uint64(steadyBatch) * uint64(steadyCores)
+			mt.RunTo(teleTarget)
+		},
+	}
+	// Allocation accounting over a fixed op count (the loops are
+	// deterministic, so a handful of ops suffices); doubles as the final
+	// warmup stage, and every cell advances the same number of events.
+	const allocOps = 4
+	allocs := make([]int64, len(steadyOps))
+	bytes := make([]int64, len(steadyOps))
+	for i, op := range steadyOps {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for n := 0; n < allocOps; n++ {
+			op()
 		}
-	})
-	steady = Measurement{
-		NsPerOp:      float64(br.NsPerOp()),
-		AllocsPerOp:  br.AllocsPerOp(),
-		BytesPerOp:   br.AllocedBytesPerOp(),
-		EventsPerSec: float64(steadyBatch*steadyCores) / float64(br.NsPerOp()) * 1e9,
+		runtime.ReadMemStats(&after)
+		allocs[i] = int64(after.Mallocs-before.Mallocs) / allocOps
+		bytes[i] = int64(after.TotalAlloc-before.TotalAlloc) / allocOps
+	}
+	const robustRounds, robustOps = 120, 2
+	minNs := make([]float64, len(steadyOps))
+	rounds := make([][]float64, len(steadyOps))
+	for i := range rounds {
+		rounds[i] = make([]float64, robustRounds)
+	}
+	for round := 0; round < robustRounds; round++ {
+		for i, op := range steadyOps {
+			start := time.Now()
+			for n := 0; n < robustOps; n++ {
+				op()
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / robustOps
+			rounds[i][round] = ns
+			if round == 0 || ns < minNs[i] {
+				minNs[i] = ns
+			}
+		}
+	}
+	serialNs, batchedNs, teleNs := minNs[0], minNs[1], minNs[2]
+	batchedVsSerial := medianRatio(rounds[0], rounds[1])
+	teleVsBatched := medianRatio(rounds[1], rounds[2])
+	if teleTarget >= mt.TotalSteps() {
+		fatal(fmt.Errorf("telemetry cell exhausted its run budget (%d steps): numbers are clamped junk", teleTarget))
+	}
+
+	steady := Measurement{
+		NsPerOp:      serialNs,
+		AllocsPerOp:  allocs[0],
+		BytesPerOp:   bytes[0],
+		EventsPerSec: float64(steadyBatch*steadyCores) / serialNs * 1e9,
 	}
 	rec.Benchmarks["SteadyReplay/unison"] = steady
 	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op\n",
 		"SteadyReplay/unison", steady.NsPerOp, steady.EventsPerSec/1e6, steady.AllocsPerOp)
 
-	// ReplayBatched: the same cell with the batched drain path (the
-	// default) — design accesses accumulate in serial order and flush
-	// through AccessBatch. batched_vs_serial is the in-process speedup over
-	// the SteadyReplay cell above, measured back to back on the same host
-	// so the comparison survives day-to-day machine drift.
-	mb := steadyMachine(steadyCores)
-	mb.Replay(20_000)
-	brB := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			mb.Replay(steadyBatch)
-		}
-	})
+	// batched_vs_serial is the in-process speedup over the SteadyReplay
+	// cell — the paired-median ratio, so the comparison survives both
+	// day-to-day machine drift and within-run host noise.
 	batched := Measurement{
-		NsPerOp:      float64(brB.NsPerOp()),
-		AllocsPerOp:  brB.AllocsPerOp(),
-		BytesPerOp:   brB.AllocedBytesPerOp(),
-		EventsPerSec: float64(steadyBatch*steadyCores) / float64(brB.NsPerOp()) * 1e9,
+		NsPerOp:      batchedNs,
+		AllocsPerOp:  allocs[1],
+		BytesPerOp:   bytes[1],
+		EventsPerSec: float64(steadyBatch*steadyCores) / batchedNs * 1e9,
 		Metrics: map[string]float64{
-			"batched_vs_serial": float64(br.NsPerOp()) / float64(brB.NsPerOp()),
+			"batched_vs_serial": batchedVsSerial,
 		},
 	}
 	rec.Benchmarks["ReplayBatched/unison"] = batched
 	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  %.2fx vs serial cell\n",
 		"ReplayBatched/unison", batched.NsPerOp, batched.EventsPerSec/1e6, batched.AllocsPerOp,
-		float64(br.NsPerOp())/float64(brB.NsPerOp()))
+		batchedVsSerial)
+
+	// telemetry_vs_batched is the whole cost of epoch slicing on the hot
+	// path: the paired-median throughput ratio over ReplayBatched.
+	tele := Measurement{
+		NsPerOp:      teleNs,
+		AllocsPerOp:  allocs[2],
+		BytesPerOp:   bytes[2],
+		EventsPerSec: float64(steadyBatch*steadyCores) / teleNs * 1e9,
+		Metrics: map[string]float64{
+			"telemetry_vs_batched": teleVsBatched,
+		},
+	}
+	rec.Benchmarks["ReplayTelemetry/unison"] = tele
+	fmt.Printf("%-28s %12.0f ns/op  %8.2fM events/s  %4d allocs/op  %.3fx vs batched cell\n",
+		"ReplayTelemetry/unison", tele.NsPerOp, tele.EventsPerSec/1e6, tele.AllocsPerOp,
+		teleVsBatched)
 
 	// Fig7Performance: speedup per design over the shared no-cache
 	// baseline, exactly the bench_test.go cell.
@@ -427,17 +531,40 @@ func main() {
 			batched.AllocsPerOp, *maxSteadyAllocs)
 		os.Exit(1)
 	}
-	if *minBatchedRatio >= 0 && batched.EventsPerSec < *minBatchedRatio*steady.EventsPerSec {
+	if *minBatchedRatio >= 0 && batchedVsSerial < *minBatchedRatio {
 		fmt.Fprintf(os.Stderr, "bench: batched replay ran at %.2fx the serial cell (min %.2fx): the batched drain path regressed\n",
-			batched.EventsPerSec/steady.EventsPerSec, *minBatchedRatio)
+			batchedVsSerial, *minBatchedRatio)
+		os.Exit(1)
+	}
+	if *maxTeleOverhead >= 0 && teleVsBatched < 1-*maxTeleOverhead {
+		fmt.Fprintf(os.Stderr, "bench: telemetry replay ran at %.3fx the batched cell (floor %.3fx): epoch recording is no longer near-free\n",
+			teleVsBatched, 1-*maxTeleOverhead)
 		os.Exit(1)
 	}
 }
 
+// medianRatio estimates how fast loop b runs relative to loop a (>1 means
+// b is faster) from paired per-round samples: each round's quotient
+// cancels the host drift common to both sides, and the median over rounds
+// discards the asymmetric spikes.
+func medianRatio(a, b []float64) float64 {
+	ratios := make([]float64, len(a))
+	for i := range a {
+		ratios[i] = a[i] / b[i]
+	}
+	sort.Float64s(ratios)
+	n := len(ratios)
+	if n%2 == 1 {
+		return ratios[n/2]
+	}
+	return (ratios[n/2-1] + ratios[n/2]) / 2
+}
+
 // steadyMachine wires the Figure 7 unison cell at simulation scale, the
 // way the facade does, but exposed as a raw machine so the timed region is
-// nothing but the replay loop.
-func steadyMachine(cores int) *sim.Machine {
+// nothing but the replay loop. warmupFrac only matters to cells that drive
+// the BeginRun/RunTo cursor (Replay ignores the run bookkeeping entirely).
+func steadyMachine(cores int, warmupFrac float64) *sim.Machine {
 	const labelCap = uint64(1 << 30)
 	div := uint64(uc.AutoScaleDivisor(labelCap))
 	prof := *trace.Profiles()["data-serving"]
@@ -469,6 +596,7 @@ func steadyMachine(cores int) *sim.Machine {
 	}
 	cfg := sim.Default()
 	cfg.Cores = cores
+	cfg.WarmupFrac = warmupFrac
 	cfg.L2.SizeBytes = 128 << 10
 	m, err := sim.New(cfg, sources, design, stacked, offchip)
 	if err != nil {

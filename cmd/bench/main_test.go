@@ -54,7 +54,7 @@ func TestAppendRecordRejectsCorrupt(t *testing.T) {
 // must replay without panicking and allocate nothing once warm (the
 // contract the -max-steady-allocs gate enforces).
 func TestSteadyMachineReplays(t *testing.T) {
-	m := steadyMachine(2)
+	m := steadyMachine(2, 2.0/3.0)
 	m.Replay(4_000)
 	if allocs := testing.AllocsPerRun(5, func() { m.Replay(1_000) }); allocs != 0 {
 		t.Errorf("steady machine allocates %v per replay, want 0", allocs)

@@ -10,6 +10,7 @@
 //	experiments -exp all -quick        # everything, shortened runs
 //	experiments -exp table5 -workloads web-search,tpch
 //	experiments -exp fig7 -quick -sample -confidence 0.95
+//	experiments -exp fig7 -quick -telemetry    # + fig7_epochs.csv timeline
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	uc "unisoncache"
@@ -45,6 +47,12 @@ type options struct {
 	// other experiment — including the speedup-reporting ablations —
 	// ignores it and runs full-length.
 	sample uc.SampleSpec
+	// telemetry, when enabled, records epoch-sliced counter timelines on
+	// the speedup figures' design points and writes them as companion
+	// per-epoch CSVs (fig7_epochs.csv, fig8_epochs.csv). The figure CSVs
+	// themselves stay byte-identical — recording never perturbs a replay.
+	// Mutually exclusive with -sample (epoch slicing needs every event).
+	telemetry uc.TelemetrySpec
 	// srv, when non-nil, routes every simulation through the unisonserved
 	// service (-server, one or more comma-separated daemon URLs) instead
 	// of executing in-process. The service's determinism contract keeps
@@ -165,6 +173,8 @@ func main() {
 	sampleFlag := flag.Bool("sample", false, "sampled simulation for the speedup figures: CI-target sweeps, CI columns in fig7/fig8 CSVs")
 	confidence := flag.Float64("confidence", 0, "confidence level for -sample intervals (default 0.95)")
 	sampleSpec := flag.String("sample-spec", "", "full sampling spec, e.g. interval=1000,gap=3000,ci=0.03 (implies -sample)")
+	telemetryFlag := flag.Bool("telemetry", false, "record epoch-sliced counter timelines on the speedup figures and write per-epoch CSVs (fig7_epochs.csv, fig8_epochs.csv); figure CSVs stay byte-identical")
+	epochEvents := flag.Int("epoch-events", 0, "telemetry epoch length in retired events per core (0 = default; implies -telemetry)")
 	server := flag.String("server", "", "unisonserved base URL(s), comma-separated for a cluster (e.g. http://127.0.0.1:8080,http://127.0.0.1:8081); route all simulations through the service")
 	serialAccess := flag.Bool("serial-access", false, "force one-at-a-time design lookups instead of the batched AccessBatch drain (A/B verification; output is byte-identical)")
 	flag.Parse()
@@ -197,6 +207,15 @@ func main() {
 		}
 		if *confidence != 0 {
 			opt.sample.Confidence = *confidence
+		}
+	}
+	if *telemetryFlag || *epochEvents != 0 {
+		opt.telemetry = uc.DefaultTelemetrySpec()
+		if *epochEvents != 0 {
+			opt.telemetry.EpochEvents = *epochEvents
+		}
+		if opt.sample.Enabled() {
+			fatal(fmt.Errorf("-telemetry and -sample are mutually exclusive (epoch slicing needs every event simulated)"))
 		}
 	}
 	if opt.accesses == 0 {
@@ -286,6 +305,59 @@ func writeCSV(opt options, name string, header []string, rows [][]string) error 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func u64(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// telemetryPoints stamps the -telemetry spec on a figure's design
+// points. SpeedupMany's baseline canonicalization strips the spec again,
+// so the memoized baselines keep their usual cache keys and record
+// nothing.
+func (o options) telemetryPoints(points []uc.Run) []uc.Run {
+	if !o.telemetry.Enabled() {
+		return points
+	}
+	out := make([]uc.Run, len(points))
+	for i, r := range points {
+		r.Telemetry = o.telemetry
+		out[i] = r
+	}
+	return out
+}
+
+// writeEpochsCSV writes a figure's companion per-epoch CSV: one row per
+// (workload, size, design, epoch) from the design results' timelines —
+// the microarchitectural counters resolved in time instead of collapsed
+// into whole-run totals.
+func writeEpochsCSV(opt options, name string, results []uc.SpeedupResult) error {
+	header := []string{"workload", "size", "design", "epoch", "start_events", "end_events",
+		"uipc", "instructions", "cycles", "hit_ratio",
+		"waypred_hits", "waypred_lookups",
+		"trigger_misses", "underpred_misses", "singleton_skips",
+		"offchip_read_bytes", "offchip_write_bytes",
+		"stacked_busy_cycles", "offchip_busy_cycles", "l2_hit_ratio"}
+	var rows [][]string
+	for _, r := range results {
+		res := r.Design
+		if res.Timeline == nil {
+			continue
+		}
+		for _, e := range res.Timeline.Epochs {
+			rows = append(rows, []string{
+				res.Run.Workload, config.SizeLabel(res.Run.Capacity), string(res.Run.Design),
+				strconv.Itoa(e.Index), strconv.Itoa(e.StartEvents), strconv.Itoa(e.EndEvents),
+				f4(e.UIPC), u64(e.Instructions), u64(e.Cycles), f4(e.HitRatio()),
+				u64(e.WayPredHits), u64(e.WayPredLookups),
+				u64(e.TriggerMisses), u64(e.UnderpredMisses), u64(e.SingletonSkips),
+				u64(e.OffchipReadBytes), u64(e.OffchipWriteBytes),
+				u64(e.StackedBusyCycles), u64(e.OffchipBusyCycles), f4(e.L2HitRatio()),
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return writeCSV(opt, name, header, rows)
+}
 
 // speedupResults executes a speedup plan, sampled (CI-target sweep) or
 // full, per the options — locally or through -server.
@@ -504,7 +576,7 @@ func fig7(opt options) error {
 			Designs:    designs,
 		}.Points()
 	}
-	results, err := opt.speedupResults(points)
+	results, err := opt.speedupResults(opt.telemetryPoints(points))
 	if err != nil {
 		return err
 	}
@@ -547,6 +619,11 @@ func fig7(opt options) error {
 	if sampled {
 		sampleSummary(results)
 	}
+	if opt.telemetry.Enabled() {
+		if err := writeEpochsCSV(opt, "fig7_epochs", results); err != nil {
+			return err
+		}
+	}
 	fmt.Println()
 	return writeCSV(opt, "fig7", header, rows)
 }
@@ -574,7 +651,7 @@ func fig8(opt options) error {
 		Capacities: config.TPCHSizes(),
 		Designs:    designs,
 	}.Points()
-	results, err := opt.speedupResults(points)
+	results, err := opt.speedupResults(opt.telemetryPoints(points))
 	if err != nil {
 		return err
 	}
@@ -599,6 +676,11 @@ func fig8(opt options) error {
 	}
 	if sampled {
 		sampleSummary(results)
+	}
+	if opt.telemetry.Enabled() {
+		if err := writeEpochsCSV(opt, "fig8_epochs", results); err != nil {
+			return err
+		}
 	}
 	fmt.Println()
 	return writeCSV(opt, "fig8", header, rows)

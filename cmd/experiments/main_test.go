@@ -146,3 +146,65 @@ func TestFig7CSVMatchesSerial(t *testing.T) {
 		t.Fatalf("fig7.csv diverges from serial reference:\n--- got ---\n%s\n--- want ---\n%s", got, b.String())
 	}
 }
+
+// TestFig7TelemetryCSV: -telemetry writes the companion per-epoch CSV
+// while leaving fig7.csv byte-identical to the telemetry-free run — the
+// recording is observable only in the extra file.
+func TestFig7TelemetryCSV(t *testing.T) {
+	plain := options{
+		accesses:  2_000,
+		seed:      1,
+		workloads: []string{"web-search"},
+		outDir:    t.TempDir(),
+	}
+	if err := fig7(plain); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(plain.outDir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tele := plain
+	tele.outDir = t.TempDir()
+	tele.telemetry = uc.TelemetrySpec{EpochEvents: 200}
+	if err := fig7(tele); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(tele.outDir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fig7.csv changed under -telemetry:\n--- with ---\n%s\n--- without ---\n%s", got, want)
+	}
+
+	data, err := os.ReadFile(filepath.Join(tele.outDir, "fig7_epochs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	wantHeader := "workload,size,design,epoch,start_events,end_events," +
+		"uipc,instructions,cycles,hit_ratio,waypred_hits,waypred_lookups," +
+		"trigger_misses,underpred_misses,singleton_skips," +
+		"offchip_read_bytes,offchip_write_bytes," +
+		"stacked_busy_cycles,offchip_busy_cycles,l2_hit_ratio"
+	if lines[0] != wantHeader {
+		t.Fatalf("epochs header = %q, want %q", lines[0], wantHeader)
+	}
+	if len(lines) < 2 {
+		t.Fatal("fig7_epochs.csv has no epoch rows")
+	}
+	// Every design point contributes epochs; spot-check the vocabulary.
+	body := strings.Join(lines[1:], "\n")
+	for _, d := range []string{"alloy", "footprint", "unison", "ideal"} {
+		if !strings.Contains(body, ","+d+",") {
+			t.Errorf("fig7_epochs.csv records no epochs for design %q", d)
+		}
+	}
+	for i, line := range lines[1:] {
+		if cols := strings.Split(line, ","); len(cols) != 20 {
+			t.Fatalf("epoch row %d has %d columns, want 20: %q", i, len(cols), line)
+		}
+	}
+}

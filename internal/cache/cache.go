@@ -47,13 +47,19 @@ type Stats struct {
 // Misses returns Accesses - Hits.
 func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
 
-// HitRate returns the hit fraction.
-func (s Stats) HitRate() float64 {
+// HitRatio returns Hits/Accesses. With zero accesses observed — an idle
+// cache, or a telemetry epoch in which no request reached this level —
+// the ratio is defined as 0, not NaN, so it can be aggregated and
+// serialized without poisoning downstream arithmetic.
+func (s Stats) HitRatio() float64 {
 	if s.Accesses == 0 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Accesses)
 }
+
+// HitRate returns the hit fraction (alias of HitRatio).
+func (s Stats) HitRate() float64 { return s.HitRatio() }
 
 // Reset zeroes the counters.
 func (s *Stats) Reset() { *s = Stats{} }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -245,6 +246,34 @@ func TestHitRate(t *testing.T) {
 	s = Stats{Accesses: 4, Hits: 3}
 	if s.HitRate() != 0.75 {
 		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Stats
+		want float64
+	}{
+		{"zero accesses", Stats{}, 0},
+		{"zero accesses nonzero writebacks", Stats{Writebacks: 7}, 0},
+		{"all hits", Stats{Accesses: 8, Hits: 8}, 1},
+		{"all misses", Stats{Accesses: 5}, 0},
+		{"mixed", Stats{Accesses: 4, Hits: 3}, 0.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.s.HitRatio()
+			if math.IsNaN(got) {
+				t.Fatalf("HitRatio(%+v) is NaN", tt.s)
+			}
+			if got != tt.want {
+				t.Errorf("HitRatio(%+v) = %v, want %v", tt.s, got, tt.want)
+			}
+			if got != tt.s.HitRate() {
+				t.Errorf("HitRate diverged from HitRatio: %v vs %v", tt.s.HitRate(), got)
+			}
+		})
 	}
 }
 

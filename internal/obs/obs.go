@@ -90,6 +90,14 @@ func (t *Timeline) add(s Span) {
 	t.spans = append(t.spans, s)
 }
 
+// Dropped returns how many spans the cap discarded — surfaced in job JSON
+// so a truncated trace is visible as such, not mistaken for a short one.
+func (t *Timeline) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Spans returns a copy of the recorded spans in record order. When the
 // cap truncated the timeline, a final synthetic "truncated" span carries
 // the drop count in its Start field's place — callers render it as-is.

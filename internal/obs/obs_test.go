@@ -95,6 +95,11 @@ func TestTimeline(t *testing.T) {
 	if !strings.Contains(spans[maxSpans].Stage, "truncated") {
 		t.Errorf("last span %q is not the truncation marker", spans[maxSpans].Stage)
 	}
+	// The flood recorded 3 + 200 spans against a cap of maxSpans; every
+	// span past the cap must be accounted as dropped, exactly.
+	if got, want := tl.Dropped(), 3+200-maxSpans; got != want {
+		t.Errorf("Dropped() = %d, want %d", got, want)
+	}
 }
 
 // TestMeter: cumulative accounting and the derived rate.

@@ -30,7 +30,12 @@ type job struct {
 	result    *uc.Result
 	results   []uc.Result
 	speedups  []uc.SpeedupResult
-	subs      map[chan struct{}]struct{}
+	// epochs is the job's telemetry timeline: appended live while a
+	// telemetry-enabled run simulates here, or backfilled from the
+	// finished result (cache, store, peer or proxy hits) just before the
+	// job turns terminal. GET /v1/jobs/{id}/telemetry streams it.
+	epochs []uc.TimelineEpoch
+	subs   map[chan struct{}]struct{}
 }
 
 func newJob(id, kind string, total int, requestID string, cancel context.CancelFunc) *job {
@@ -61,22 +66,59 @@ func (j *job) spans() []client.Span {
 // snapshot renders the job as its wire form.
 func (j *job) snapshot() client.Job {
 	spans := j.spans()
+	dropped := j.tl.Dropped()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return client.Job{
-		ID:        j.id,
-		Kind:      j.kind,
-		State:     j.state,
-		Done:      j.done,
-		Total:     j.total,
-		CacheHits: j.cacheHits,
-		Error:     j.errText,
-		RequestID: j.requestID,
-		Spans:     spans,
-		Result:    j.result,
-		Results:   j.results,
-		Speedups:  j.speedups,
+		ID:           j.id,
+		Kind:         j.kind,
+		State:        j.state,
+		Done:         j.done,
+		Total:        j.total,
+		CacheHits:    j.cacheHits,
+		Error:        j.errText,
+		RequestID:    j.requestID,
+		Spans:        spans,
+		SpansDropped: dropped,
+		Result:       j.result,
+		Results:      j.results,
+		Speedups:     j.speedups,
 	}
+}
+
+// addEpochs appends telemetry epochs to the job record and wakes the
+// telemetry stream's subscribers. Safe from the executing goroutine
+// (live emission) and from the finish path (terminal backfill).
+func (j *job) addEpochs(es ...uc.TimelineEpoch) {
+	if len(es) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.epochs = append(j.epochs, es...)
+	j.notifyLocked()
+}
+
+// epochCount returns how many epochs the job has recorded so far.
+func (j *job) epochCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.epochs)
+}
+
+// epochsFrom returns a copy of the epochs recorded past sent together
+// with whether the job is terminal — one atomic read, so a telemetry
+// stream that observes the terminal state has necessarily observed every
+// epoch too (the finish paths backfill before marking terminal).
+func (j *job) epochsFrom(sent int) ([]uc.TimelineEpoch, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if sent > len(j.epochs) {
+		sent = len(j.epochs)
+	}
+	tail := make([]uc.TimelineEpoch, len(j.epochs)-sent)
+	copy(tail, j.epochs[sent:])
+	return tail, j.terminalLocked()
 }
 
 // subscribe registers for change notifications (coalescing: one pending

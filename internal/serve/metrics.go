@@ -25,6 +25,10 @@ type metrics struct {
 	jobsDone      atomic.Uint64
 	jobsFailed    atomic.Uint64
 	jobsCanceled  atomic.Uint64
+	// telemetryEpochs counts epoch timeline slices recorded onto job
+	// records — live from local simulations plus terminal backfills from
+	// cached/stored/peer results.
+	telemetryEpochs atomic.Uint64
 }
 
 // latencies is the daemon's histogram set: fixed-bucket Prometheus-text
@@ -47,6 +51,11 @@ type latencies struct {
 	// ("proxy" for forwarding to the owner, "peer-fill" for cache
 	// lookups on other members).
 	peer *obs.Vec
+	// epochGap is the wall-clock gap between consecutive telemetry epochs
+	// a live simulation emits — the epoch cadence, which tracks replay
+	// throughput (epoch length is fixed in events, so the gap is
+	// events-per-epoch over events-per-second).
+	epochGap *obs.Histogram
 }
 
 func newLatencies() *latencies {
@@ -57,6 +66,7 @@ func newLatencies() *latencies {
 		storeRead:  obs.NewHistogram("unisonserved_store_read_seconds", "Persistent result store read latency.", nil),
 		storeWrite: obs.NewHistogram("unisonserved_store_write_seconds", "Persistent result store write latency.", nil),
 		peer:       obs.NewVec("unisonserved_peer_roundtrip_seconds", "Cluster round-trip latency by hop kind.", "op", nil),
+		epochGap:   obs.NewHistogram("unisonserved_telemetry_epoch_gap_seconds", "Wall-clock gap between consecutive telemetry epochs emitted by live simulations.", nil),
 	}
 }
 
@@ -94,6 +104,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("unisonserved_jobs_done_total", "Jobs that completed successfully.", s.m.jobsDone.Load())
 	counter("unisonserved_jobs_failed_total", "Jobs that ended in an error.", s.m.jobsFailed.Load())
 	counter("unisonserved_jobs_canceled_total", "Jobs canceled before completing.", s.m.jobsCanceled.Load())
+	counter("unisonserved_telemetry_epochs_total", "Telemetry epochs recorded onto job records (live simulations plus terminal backfills).", s.m.telemetryEpochs.Load())
 	gauge("unisonserved_cache_entries", "Results currently held by the in-memory cache.", uint64(s.cache.len()))
 	gauge("unisonserved_cache_bytes", "Accounted marshaled size of the in-memory cache's results.", uint64(s.cache.bytes()))
 	if s.store != nil {
@@ -132,6 +143,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.lat.storeWrite.Write(w)
 	}
 	s.lat.peer.Write(w)
+	s.lat.epochGap.Write(w)
 }
 
 // runningProgress sums done/total across currently running jobs.

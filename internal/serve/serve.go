@@ -6,14 +6,15 @@
 //
 // The API surface:
 //
-//	POST /v1/runs             submit one Run            → Job
-//	POST /v1/sweeps           submit a point list       → Job
-//	GET  /v1/jobs/{id}        job status + results      → Job
-//	GET  /v1/jobs/{id}/events NDJSON progress stream    → Event lines
-//	DELETE /v1/jobs/{id}      cancel a job              → Job
-//	GET  /healthz             readiness (503 draining)  → Health
-//	GET  /livez               liveness (always 200)     → Health
-//	GET  /metrics             Prometheus text counters + histograms
+//	POST /v1/runs                submit one Run            → Job
+//	POST /v1/sweeps              submit a point list       → Job
+//	GET  /v1/jobs/{id}           job status + results      → Job
+//	GET  /v1/jobs/{id}/events    NDJSON progress stream    → Event lines
+//	GET  /v1/jobs/{id}/telemetry NDJSON epoch timeline     → TimelineEpoch lines
+//	DELETE /v1/jobs/{id}         cancel a job              → Job
+//	GET  /healthz                readiness (503 draining)  → Health
+//	GET  /livez                  liveness (always 200)     → Health
+//	GET  /metrics                Prometheus text counters + histograms
 //
 // Observability (DESIGN.md §14): every request carries an ID
 // (X-Unison-Request-Id, minted at the edge when absent) that propagates
@@ -118,16 +119,19 @@ type Config struct {
 	// it, carrying the request ID, run-key prefix and member name.
 	Logger *slog.Logger
 	// SlowThreshold, when > 0, logs any HTTP request slower than this at
-	// warning level (the NDJSON events stream is exempt — holding it
-	// open for a job's lifetime is waiting, not work).
+	// warning level (the NDJSON events and telemetry streams are exempt —
+	// holding them open for a job's lifetime is waiting, not work).
 	SlowThreshold time.Duration
 }
 
 // Server is the simulation service. Create with New, expose with
 // Handler, shut down with Drain.
 type Server struct {
-	cfg     Config
-	execute func(uc.Run) (uc.Result, error)
+	cfg Config
+	// execute runs one simulation, streaming telemetry epochs to onEpoch
+	// (ignored when nil, or when Config.Execute overrode the engine —
+	// fakes' timelines still reach the stream via the terminal backfill).
+	execute func(r uc.Run, onEpoch func(uc.TimelineEpoch)) (uc.Result, error)
 	queue   *runner.Queue
 	cache   *resultCache
 	store   *store.Store
@@ -163,9 +167,10 @@ func New(cfg Config) *Server {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 1024
 	}
-	execute := cfg.Execute
-	if execute == nil {
-		execute = uc.Execute
+	execute := uc.ExecuteObserved
+	if cfg.Execute != nil {
+		override := cfg.Execute
+		execute = func(r uc.Run, _ func(uc.TimelineEpoch)) (uc.Result, error) { return override(r) }
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -218,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
@@ -238,6 +244,9 @@ func routeLabel(path string) string {
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		if strings.HasSuffix(path, "/events") {
 			return "/v1/jobs/{id}/events"
+		}
+		if strings.HasSuffix(path, "/telemetry") {
+			return "/v1/jobs/{id}/telemetry"
 		}
 		return "/v1/jobs/{id}"
 	default:
@@ -289,7 +298,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.lat.http.With(route).Observe(dur.Seconds())
 		level := slog.LevelDebug
 		switch route {
-		case "/healthz", "/livez", "/metrics", "/v1/jobs/{id}", "/v1/jobs/{id}/events":
+		case "/healthz", "/livez", "/metrics", "/v1/jobs/{id}", "/v1/jobs/{id}/events", "/v1/jobs/{id}/telemetry":
 		default:
 			// Submissions, cancels and cluster result lookups are the
 			// cross-node traffic whose IDs operators grep for.
@@ -299,7 +308,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		lg.Log(ctx, level, "http request",
 			"method", r.Method, "route", route, "path", r.URL.Path,
 			"status", sw.code, "dur_ms", durMillis(dur))
-		if s.slow > 0 && dur >= s.slow && route != "/v1/jobs/{id}/events" {
+		if s.slow > 0 && dur >= s.slow && route != "/v1/jobs/{id}/events" && route != "/v1/jobs/{id}/telemetry" {
 			lg.Warn("slow request",
 				"method", r.Method, "route", route, "path", r.URL.Path,
 				"status", sw.code, "dur_ms", durMillis(dur), "threshold", s.slow.String())
@@ -348,7 +357,7 @@ func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res 
 	if err != nil {
 		return uc.Result{}, false, "", err
 	}
-	return s.executeKeyed(ctx, key, r, forwarded)
+	return s.executeKeyed(ctx, key, r, forwarded, nil)
 }
 
 // executeKeyed is executeRun for a caller that already computed the key
@@ -359,7 +368,10 @@ func (s *Server) executeRun(ctx context.Context, r uc.Run, forwarded bool) (res 
 // daemon is the owner), then simulation — so re-simulating is strictly
 // the last resort. forwarded marks a request already routed by a peer
 // daemon, which must execute here (one hop maximum, no proxy loops).
-func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forwarded bool) (res uc.Result, cached bool, source string, err error) {
+// onEpoch, when non-nil, receives telemetry epochs live — but only when
+// this call actually simulates; every other source delivers its timeline
+// on the finished Result, which the caller backfills.
+func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forwarded bool, onEpoch func(uc.TimelineEpoch)) (res uc.Result, cached bool, source string, err error) {
 	source = srcSimulated
 	res, hit, shared, err := s.cache.do(key, func() (uc.Result, error) {
 		if res, ok := s.storeGet(key); ok {
@@ -393,7 +405,7 @@ func (s *Server) executeKeyed(ctx context.Context, key string, r uc.Run, forward
 		}
 		s.m.cacheMisses.Add(1)
 		start := time.Now()
-		res, err := s.execute(r)
+		res, err := s.execute(r, onEpoch)
 		dur := time.Since(start)
 		s.lat.execute.Observe(dur.Seconds())
 		if err == nil {
@@ -491,6 +503,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			j.tl.Observe(source, lookup)
 			j.recordExecution(true)
+			s.backfillEpochs(j, &res)
 			j.finish(ctx, nil, &res, nil, nil)
 			s.countFinished(j)
 			writeJSON(w, http.StatusOK, j.snapshot())
@@ -498,6 +511,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	submitted := time.Now()
+	onEpoch := s.liveEpochs(j)
 	work := func(ctx context.Context) {
 		j.tl.Observe("queued", submitted)
 		j.setRunning()
@@ -507,7 +521,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 			if err = keyErr; err == nil {
 				var source string
 				start := time.Now()
-				res, cached, source, err = s.executeKeyed(ctx, key, run, forwarded)
+				res, cached, source, err = s.executeKeyed(ctx, key, run, forwarded, onEpoch)
 				if err == nil {
 					j.tl.Observe(source, start)
 				}
@@ -517,6 +531,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 			j.recordExecution(cached)
 			result = &res
 		}
+		s.backfillEpochs(j, result)
 		j.finish(ctx, err, result, nil, nil)
 		s.countFinished(j)
 	}
@@ -703,6 +718,87 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		if snap.Terminal() {
+			return
+		}
+		select {
+		case <-tick:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// liveEpochs returns the job's live telemetry sink: each epoch a local
+// simulation emits lands on the job record immediately — streaming to
+// /telemetry subscribers while the run executes — feeds the epochs
+// counter, and its arrival gap the cadence histogram. The engine invokes
+// the sink from the single executing goroutine, so last needs no lock.
+func (s *Server) liveEpochs(j *job) func(uc.TimelineEpoch) {
+	var last time.Time
+	return func(e uc.TimelineEpoch) {
+		now := time.Now()
+		if !last.IsZero() {
+			s.lat.epochGap.Observe(now.Sub(last).Seconds())
+		}
+		last = now
+		s.m.telemetryEpochs.Add(1)
+		j.addEpochs(e)
+	}
+}
+
+// backfillEpochs copies onto the job any timeline epochs it has not yet
+// recorded, so results that arrived whole — cache, store, peer and proxy
+// hits, coalesced executions — replay their telemetry over the stream
+// exactly like a live simulation. It must run before the job turns
+// terminal: epochsFrom pairs the epoch tail with the terminal flag, so
+// this ordering is what guarantees a stream never ends short.
+func (s *Server) backfillEpochs(j *job, res *uc.Result) {
+	if res == nil || res.Timeline == nil {
+		return
+	}
+	have := j.epochCount()
+	if have >= len(res.Timeline.Epochs) {
+		return
+	}
+	tail := res.Timeline.Epochs[have:]
+	s.m.telemetryEpochs.Add(uint64(len(tail)))
+	j.addEpochs(tail...)
+}
+
+// handleTelemetry streams the job's epoch timeline as NDJSON: one
+// TimelineEpoch per line, live while a telemetry-enabled run simulates,
+// replayed from the job record for finished jobs, EOF after the terminal
+// drain. Jobs without telemetry yield an empty body.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	tick, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	// Push the headers out before the first epoch exists, so a client
+	// following a running job sees the stream open immediately.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sent := 0
+	for {
+		epochs, terminal := j.epochsFrom(sent)
+		for _, e := range epochs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		sent += len(epochs)
+		if len(epochs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
 			return
 		}
 		select {

@@ -23,6 +23,7 @@ import (
 	"unisoncache/internal/dram"
 	"unisoncache/internal/dramcache"
 	"unisoncache/internal/mem"
+	"unisoncache/internal/telemetry"
 	"unisoncache/internal/trace"
 )
 
@@ -102,6 +103,21 @@ type Machine struct {
 	batching bool
 	breqs    []dramcache.Request
 	bresps   []dramcache.Response
+
+	// teleSpec arms epoch-sliced telemetry (SetTelemetry); tele is the
+	// run's recorder, created lazily when the measurement phase first
+	// advances so machines restored from a checkpoint — which never call
+	// BeginRun — record too. With the zero spec the dispatch in RunTo
+	// selects the untouched continuePhase loop: telemetry disabled costs
+	// nothing.
+	teleSpec telemetry.Spec
+	teleEmit func(telemetry.Epoch)
+	tele     *telemetry.Recorder
+	// teleClamp is continueTelemetry's scratch: per core, the events
+	// withheld from remaining while the countdown is clamped at the core's
+	// next epoch boundary. Always all-zero outside continueTelemetry, so
+	// it never enters checkpoints.
+	teleClamp []int
 }
 
 // designBatchCap bounds the pending design batch (and its preallocated
@@ -199,6 +215,7 @@ func New(cfg Config, sources []trace.Source, design dramcache.Design, stacked, o
 	m := &Machine{cfg: cfg, l2: l2, design: design, stacked: stacked, offchip: offchip}
 	m.cores = make([]coreState, cfg.Cores)
 	m.remaining = make([]int, cfg.Cores)
+	m.teleClamp = make([]int, cfg.Cores)
 	m.batching = true
 	m.breqs = make([]dramcache.Request, 0, designBatchCap)
 	m.bresps = make([]dramcache.Response, designBatchCap)
@@ -274,7 +291,24 @@ func (m *Machine) BeginRun(accessesPerCore int) {
 		accesses: accessesPerCore,
 		warm:     int(float64(accessesPerCore) * m.cfg.WarmupFrac),
 	}
+	m.tele = nil
 }
+
+// SetTelemetry arms epoch-sliced telemetry for subsequent full runs: the
+// measurement phase records boundary snapshots every spec.EpochEvents
+// retired events per core and, when onEpoch is non-nil, emits each epoch
+// the moment its closing boundary completes. The spec must already be
+// defaulted and validated. Pass the zero Spec to disarm. Telemetry covers
+// the Run/BeginRun cursor only — Replay and ReplaySampled never record.
+func (m *Machine) SetTelemetry(spec telemetry.Spec, onEpoch func(telemetry.Epoch)) {
+	m.teleSpec = spec
+	m.teleEmit = onEpoch
+	m.tele = nil
+}
+
+// TelemetryRecorder returns the current run's recorder — nil until the
+// measurement phase has advanced with telemetry armed.
+func (m *Machine) TelemetryRecorder() *telemetry.Recorder { return m.tele }
 
 // TotalSteps returns the run's total global step count: every core's full
 // event budget. RunTo targets are global step offsets in [0, TotalSteps].
@@ -323,7 +357,14 @@ func (m *Machine) RunTo(target uint64) {
 		}
 	}
 	if m.run.phase == 2 && m.run.step < target {
-		m.run.step += m.continuePhase(target - m.run.step)
+		if m.teleSpec.Enabled() {
+			if m.tele == nil {
+				m.tele = telemetry.NewRecorder(m.teleSpec, len(m.cores), m.run.accesses-m.run.warm, m.teleEmit)
+			}
+			m.run.step += m.continueTelemetry(target - m.run.step)
+		} else {
+			m.run.step += m.continuePhase(target - m.run.step)
+		}
 	}
 }
 
@@ -419,6 +460,134 @@ func (m *Machine) continuePhase(budget uint64) uint64 {
 		}
 	}
 	return steps
+}
+
+// continueTelemetry is continuePhase for a telemetry-armed measurement
+// phase: the identical tournament schedule (batched or serial step per
+// m.batching) with the sampled-replay boundary-crossing mechanics woven
+// in. Boundaries are pure per-core counter snapshots taken as each core
+// crosses them — no barrier, so the event interleaving (and therefore the
+// run's Results) is bit-identical to the plain loop. When a boundary
+// completes (every core crossed it), the pending design batch is flushed —
+// legal anywhere by AccessBatch's contract — and the machine-wide
+// statistics row is recorded: after the flush the state equals the serial
+// reference state after the crossing step, which makes the snapshot
+// independent of batching, chunking, and segmentation. Sync repositions
+// the recorder's cursors from the persisted remaining budgets, so chunked
+// and checkpoint-restored execution resumes recording exactly where the
+// schedule stands; boundaries crossed before a restored segment are
+// skipped (their cells belong to the earlier segment's recorder).
+//
+// The recording itself costs no per-step work: every live core's
+// countdown is clamped at its next epoch boundary and the unmodified
+// tournament loop runs until a core parks — reaches its clamped zero —
+// which by construction happens exactly at that core's boundary. The
+// loop stops the instant the parking step completes, so no other core
+// runs ahead of the parked core's post-boundary events and the
+// concatenated schedule is the uninterrupted one (the same chunking
+// property RunTo already rests on). The parked core's snapshot is
+// recorded, its withheld budget restored, and the loop re-enters.
+func (m *Machine) continueTelemetry(budget uint64) uint64 {
+	rec := m.tele
+	meas := m.run.accesses - m.run.warm
+	remaining := m.remaining
+	rec.Sync(func(c int) int { return meas - remaining[c] })
+	clamp := m.teleClamp
+	var steps uint64
+	for steps < budget {
+		// Clamp live countdowns at each core's next boundary. A core past
+		// its last boundary has Next == maxInt, never clamps, and simply
+		// exhausts; the final bound sits at meas, so the last real park
+		// coincides with natural exhaustion and records the closing epoch.
+		for c, rem := range remaining {
+			if rem <= 0 {
+				continue
+			}
+			if k := rec.Next(c) - (meas - rem); k < rem {
+				clamp[c] = rem - k
+				remaining[c] = k
+			}
+		}
+		n, parked := m.continueUntilPark(budget - steps)
+		steps += n
+		for c := range remaining {
+			remaining[c] += clamp[c]
+			clamp[c] = 0
+		}
+		if parked < 0 {
+			break // budget exhausted or no live cores
+		}
+		consumed := meas - remaining[parked]
+		pc := &m.cores[parked]
+		if b, complete := rec.Cross(parked, consumed, pc.instr-pc.instr0, pc.clock-pc.clock0); complete {
+			m.flushDesign()
+			rec.Global(b, telemetry.GlobalRow{
+				Design:  m.design.Snapshot(),
+				Stacked: m.stacked.Stats(),
+				Offchip: m.offchip.Stats(),
+				L2:      m.l2.Stats(),
+			})
+		}
+	}
+	if m.batching {
+		m.flushDesign()
+	}
+	return steps
+}
+
+// continueUntilPark is continuePhase with one extra exit: the moment any
+// core's countdown reaches zero the loop returns that core's index
+// (-1 when it ran out of budget or live cores instead). The telemetry
+// driver clamps countdowns at epoch boundaries, so a park is a boundary
+// arrival caught at the exact global step it happens; the loop bodies are
+// otherwise identical to continuePhase's, which is what keeps a
+// telemetry-armed run's schedule — and therefore its Results — bit-
+// identical to a plain one.
+func (m *Machine) continueUntilPark(budget uint64) (uint64, int) {
+	remaining := m.remaining
+	live := m.buildTree()
+	tree, leaves, shift, mask := m.tree, m.leaves, m.shift, uint64(m.leaves-1)
+	var steps uint64
+	if m.batching {
+		for live > 0 && steps < budget {
+			best := int(tree[1] & mask)
+			m.stepDeferred(best, remaining[best])
+			steps++
+			if remaining[best]--; remaining[best] == 0 {
+				// Park: seal the leaf, settle the tree, and return from the
+				// cold branch so the hot path carries no extra checks.
+				tree[leaves+best] = ^uint64(0)
+				for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+					tree[n] = minKey(tree[2*n], tree[2*n+1])
+				}
+				m.flushDesign()
+				return steps, best
+			}
+			tree[leaves+best] = m.cores[best].clock<<shift | uint64(best)
+			for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+				tree[n] = minKey(tree[2*n], tree[2*n+1])
+			}
+		}
+		m.flushDesign()
+		return steps, -1
+	}
+	for live > 0 && steps < budget {
+		best := int(tree[1] & mask)
+		m.step(best, remaining[best])
+		steps++
+		if remaining[best]--; remaining[best] == 0 {
+			tree[leaves+best] = ^uint64(0)
+			for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+				tree[n] = minKey(tree[2*n], tree[2*n+1])
+			}
+			return steps, best
+		}
+		tree[leaves+best] = m.cores[best].clock<<shift | uint64(best)
+		for n := (leaves + best) >> 1; n >= 1; n >>= 1 {
+			tree[n] = minKey(tree[2*n], tree[2*n+1])
+		}
+	}
+	return steps, -1
 }
 
 // buildTree (re)builds the tournament tree from the live cores' clocks and

@@ -1,0 +1,376 @@
+// Package telemetry records epoch-sliced counter timelines from a replay:
+// per-core and per-design statistic deltas snapshotted every EpochEvents
+// retired events per core. It generalizes the sampled-replay observation
+// mechanics (internal/sample) into a first-class subsystem: boundaries are
+// pure per-core counter snapshots taken as each core crosses them inside
+// the one continuous min-clock-first schedule — no barrier, no replay
+// perturbation — so a run's Result is bit-identical with telemetry on or
+// off, and the timeline is bit-identical no matter how the run was chunked
+// or segmented.
+//
+// The recorder stores measurement-relative values only (per-core deltas
+// since the warmup boundary; global statistics, which reset at that
+// boundary). That makes every cell segment-invariant: a checkpointed
+// segment worker that crosses a boundary writes exactly the value the
+// serial run would, so merging segment recorders is a sparse union of
+// cells followed by ordinary epoch assembly.
+package telemetry
+
+import (
+	"fmt"
+
+	"unisoncache/internal/cache"
+	"unisoncache/internal/dram"
+	"unisoncache/internal/dramcache"
+	"unisoncache/internal/stats"
+)
+
+// DefaultEpochEvents is the epoch length applied when a spec enables
+// telemetry without choosing one: 10k retired events per core per epoch.
+const DefaultEpochEvents = 10_000
+
+// Spec configures epoch-sliced telemetry. The zero value disables it.
+type Spec struct {
+	// EpochEvents is the epoch length in retired events per core. The
+	// final epoch is shorter when the measured region is not a multiple.
+	EpochEvents int
+}
+
+// Enabled reports whether the spec turns telemetry on.
+func (s Spec) Enabled() bool { return s != (Spec{}) }
+
+// WithDefaults fills zero fields of an enabled spec (idempotent).
+func (s Spec) WithDefaults() Spec {
+	if s.EpochEvents == 0 {
+		s.EpochEvents = DefaultEpochEvents
+	}
+	return s
+}
+
+// Validate rejects specs that cannot schedule a timeline.
+func (s Spec) Validate() error {
+	if s.EpochEvents <= 0 {
+		return fmt.Errorf("telemetry: EpochEvents %d must be positive", s.EpochEvents)
+	}
+	return nil
+}
+
+// CoreRow is one core's counter snapshot at an epoch boundary, relative to
+// the warmup/measurement boundary (retired instructions and elapsed cycles
+// since measurement began).
+type CoreRow struct {
+	Instructions uint64
+	Cycles       uint64
+}
+
+// GlobalRow is the machine-wide statistics snapshot taken once per epoch
+// boundary, after the last core has crossed it. All four sections reset at
+// the warmup/measurement boundary, so the values are measurement-relative
+// by construction.
+type GlobalRow struct {
+	Design  dramcache.Snapshot
+	Stacked dram.Stats
+	Offchip dram.Stats
+	L2      cache.Stats
+}
+
+// Epoch is one assembled timeline slice: the counter deltas between two
+// consecutive epoch boundaries. Start/EndEvents are per-core measured-event
+// offsets; [StartEvents, EndEvents) is the slice every core contributed.
+type Epoch struct {
+	Index       int
+	StartEvents int
+	EndEvents   int
+
+	// UIPC is the summed per-core IPC over the epoch — the same estimator
+	// Results.UIPC uses for the whole measured region. Instructions is the
+	// epoch's total; Cycles the maximum per-core cycle delta.
+	UIPC         float64
+	Instructions uint64
+	Cycles       uint64
+	PerCore      []CoreRow
+
+	// DRAM cache design deltas.
+	Reads, ReadHits, Writes                        uint64
+	WayPredHits, WayPredLookups                    uint64
+	TriggerMisses, UnderpredMisses, SingletonSkips uint64
+	OffchipReadBytes, OffchipWriteBytes            uint64
+
+	// DRAM controller occupancy: CPU cycles each part's data buses were
+	// busy during the epoch.
+	StackedBusyCycles, OffchipBusyCycles uint64
+
+	// Shared L2 activity.
+	L2Accesses, L2Hits uint64
+}
+
+// Recorder accumulates boundary snapshots for one run (or one segment of
+// one). The replay engine drives it per step: Due is the one-compare hot
+// path, Cross records a core's crossing, Global records the machine-wide
+// row once a boundary completes. Cells are sparse — a segment worker only
+// fills the boundaries its steps cross — and Absorb unions another
+// recorder's cells, so segmented execution merges into the identical
+// timeline the serial run records.
+type Recorder struct {
+	spec  Spec
+	cores int
+	meas  int
+
+	bounds []int // ascending per-core event offsets; last == meas
+
+	coreRows []CoreRow // [b*cores+c]
+	haveCore []bool
+	globals  []GlobalRow
+	haveGlob []bool
+
+	cursor []int // per core: next boundary index to cross
+	next   []int // per core: bounds[cursor[c]], or maxInt when done
+	left   []int // per boundary: cores yet to cross it
+
+	emit    func(Epoch)
+	emitted int
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// NewRecorder builds a recorder for a measured region of meas events per
+// core over the given core count. The spec must be defaulted and valid.
+// emit, when non-nil, is invoked with each fully assembled epoch the
+// moment its closing boundary completes (serial execution only; segment
+// workers record with emit nil and the merged recorder emits).
+func NewRecorder(spec Spec, cores, meas int, emit func(Epoch)) *Recorder {
+	r := &Recorder{spec: spec, cores: cores, meas: meas, emit: emit}
+	if cores <= 0 || meas <= 0 {
+		return r
+	}
+	for end := spec.EpochEvents; end < meas; end += spec.EpochEvents {
+		r.bounds = append(r.bounds, end)
+	}
+	r.bounds = append(r.bounds, meas)
+	n := len(r.bounds)
+	r.coreRows = make([]CoreRow, n*cores)
+	r.haveCore = make([]bool, n*cores)
+	r.globals = make([]GlobalRow, n)
+	r.haveGlob = make([]bool, n)
+	r.cursor = make([]int, cores)
+	r.next = make([]int, cores)
+	r.left = make([]int, n)
+	for c := range r.next {
+		r.next[c] = r.bounds[0]
+	}
+	for b := range r.left {
+		r.left[b] = cores
+	}
+	return r
+}
+
+// Bounds returns the epoch boundary offsets (per-core measured events).
+func (r *Recorder) Bounds() []int { return r.bounds }
+
+// Sync positions the cursors for a (re)entered execution chunk: consumed
+// holds each core's measured events executed so far. Boundaries at or
+// below a core's consumed count were crossed before this chunk — by an
+// earlier chunk on the same recorder (cursor already past them; no-op) or
+// by an earlier segment on a different recorder (skip without recording;
+// that segment's recorder owns those cells). Idempotent, and O(cores)
+// when no cursor moves: the left counts are rebuilt only after a skip,
+// since NewRecorder seeds them and Cross keeps them consistent with the
+// cursors through normal execution. Chunked replay calls Sync at every
+// chunk entry, so the no-skip path must not scan the boundary table.
+func (r *Recorder) Sync(consumed func(c int) int) {
+	if len(r.bounds) == 0 {
+		return
+	}
+	moved := false
+	for c := 0; c < r.cores; c++ {
+		done := consumed(c)
+		for r.cursor[c] < len(r.bounds) && r.bounds[r.cursor[c]] <= done {
+			r.cursor[c]++
+			moved = true
+		}
+		if r.cursor[c] < len(r.bounds) {
+			r.next[c] = r.bounds[r.cursor[c]]
+		} else {
+			r.next[c] = maxInt
+		}
+	}
+	if !moved {
+		return
+	}
+	for b := range r.left {
+		r.left[b] = 0
+	}
+	for c := 0; c < r.cores; c++ {
+		for b := r.cursor[c]; b < len(r.bounds); b++ {
+			r.left[b]++
+		}
+	}
+}
+
+// Next returns the measured-event offset of core c's next uncrossed
+// boundary (maxInt once the core has crossed them all). The execution
+// loop clamps core budgets here so it can run the plain replay loop with
+// no per-step telemetry checks at all: a core whose clamped budget runs
+// out is standing exactly on its boundary.
+func (r *Recorder) Next(c int) int { return r.next[c] }
+
+// Cross records core c's snapshot at every boundary at or below consumed
+// (at most one per step, since consumed advances by one). It returns the
+// boundary that just completed — every core has crossed it — if any; the
+// caller then takes the machine-wide snapshot and calls Global.
+func (r *Recorder) Cross(c, consumed int, instr, cycles uint64) (boundary int, complete bool) {
+	for r.cursor[c] < len(r.bounds) && r.bounds[r.cursor[c]] <= consumed {
+		b := r.cursor[c]
+		r.coreRows[b*r.cores+c] = CoreRow{Instructions: instr, Cycles: cycles}
+		r.haveCore[b*r.cores+c] = true
+		r.cursor[c]++
+		if r.left[b]--; r.left[b] == 0 {
+			boundary, complete = b, true
+		}
+	}
+	if r.cursor[c] < len(r.bounds) {
+		r.next[c] = r.bounds[r.cursor[c]]
+	} else {
+		r.next[c] = maxInt
+	}
+	return boundary, complete
+}
+
+// Global records the machine-wide statistics row for a completed boundary
+// and emits any now-assemblable epochs. Boundaries complete in ascending
+// order (the slowest core crosses b before b+1), so live emission is a
+// simple in-order drain.
+func (r *Recorder) Global(b int, row GlobalRow) {
+	r.globals[b] = row
+	r.haveGlob[b] = true
+	if r.emit == nil {
+		return
+	}
+	for r.emitted < len(r.bounds) && r.haveGlob[r.emitted] && r.rowComplete(r.emitted) {
+		r.emit(r.epoch(r.emitted))
+		r.emitted++
+	}
+}
+
+func (r *Recorder) rowComplete(b int) bool {
+	for c := 0; c < r.cores; c++ {
+		if !r.haveCore[b*r.cores+c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Absorb unions another recorder's recorded cells into this one. Both must
+// describe the same schedule (spec, cores, meas). Segment workers each
+// record the boundaries their step ranges cross; absorbing them in any
+// order reconstructs the serial recorder's full cell set, because every
+// cell value is measurement-relative and therefore identical to what the
+// serial run records.
+func (r *Recorder) Absorb(o *Recorder) error {
+	if o.spec != r.spec || o.cores != r.cores || o.meas != r.meas {
+		return fmt.Errorf("telemetry: absorbing mismatched recorder (spec %+v/%d cores/%d meas vs %+v/%d/%d)",
+			o.spec, o.cores, o.meas, r.spec, r.cores, r.meas)
+	}
+	for i, have := range o.haveCore {
+		if have {
+			r.coreRows[i] = o.coreRows[i]
+			r.haveCore[i] = true
+		}
+	}
+	for b, have := range o.haveGlob {
+		if have {
+			r.globals[b] = o.globals[b]
+			r.haveGlob[b] = true
+		}
+	}
+	return nil
+}
+
+// Epochs assembles the complete timeline. It fails if any cell was never
+// recorded (a segment merge that missed a boundary).
+func (r *Recorder) Epochs() ([]Epoch, error) {
+	if len(r.bounds) == 0 {
+		return nil, nil
+	}
+	epochs := make([]Epoch, len(r.bounds))
+	for b := range r.bounds {
+		if !r.haveGlob[b] || !r.rowComplete(b) {
+			return nil, fmt.Errorf("telemetry: boundary %d (offset %d) has unrecorded cells", b, r.bounds[b])
+		}
+		epochs[b] = r.epoch(b)
+	}
+	return epochs, nil
+}
+
+// epoch assembles boundary b's slice from rows b-1 and b (row -1 is the
+// measurement boundary itself: all-zero, since every stored value is
+// measurement-relative).
+func (r *Recorder) epoch(b int) Epoch {
+	e := Epoch{Index: b, EndEvents: r.bounds[b], PerCore: make([]CoreRow, r.cores)}
+	var prevG GlobalRow
+	if b > 0 {
+		e.StartEvents = r.bounds[b-1]
+		prevG = r.globals[b-1]
+	}
+	for c := 0; c < r.cores; c++ {
+		cur := r.coreRows[b*r.cores+c]
+		var prev CoreRow
+		if b > 0 {
+			prev = r.coreRows[(b-1)*r.cores+c]
+		}
+		d := CoreRow{Instructions: cur.Instructions - prev.Instructions, Cycles: cur.Cycles - prev.Cycles}
+		e.PerCore[c] = d
+		e.Instructions += d.Instructions
+		if d.Cycles > e.Cycles {
+			e.Cycles = d.Cycles
+		}
+		if d.Cycles > 0 {
+			e.UIPC += float64(d.Instructions) / float64(d.Cycles)
+		}
+	}
+	cur := r.globals[b]
+	e.Reads = cur.Design.Reads - prevG.Design.Reads
+	e.ReadHits = cur.Design.ReadHits - prevG.Design.ReadHits
+	e.Writes = cur.Design.Writes - prevG.Design.Writes
+	e.TriggerMisses = cur.Design.TriggerMisses - prevG.Design.TriggerMisses
+	e.UnderpredMisses = cur.Design.UnderpredMisses - prevG.Design.UnderpredMisses
+	e.SingletonSkips = cur.Design.SingletonSkips - prevG.Design.SingletonSkips
+	e.OffchipReadBytes = cur.Design.OffchipReadBytes - prevG.Design.OffchipReadBytes
+	e.OffchipWriteBytes = cur.Design.OffchipWriteBytes - prevG.Design.OffchipWriteBytes
+	e.WayPredHits, e.WayPredLookups = ratioDelta(cur.Design.WP, prevG.Design.WP)
+	e.StackedBusyCycles = cur.Stacked.BusBusyCPU - prevG.Stacked.BusBusyCPU
+	e.OffchipBusyCycles = cur.Offchip.BusBusyCPU - prevG.Offchip.BusBusyCPU
+	e.L2Accesses = cur.L2.Accesses - prevG.L2.Accesses
+	e.L2Hits = cur.L2.Hits - prevG.L2.Hits
+	return e
+}
+
+// ratioDelta subtracts two (possibly nil) predictor ratio snapshots. A nil
+// ratio means the design lacks the predictor: zero activity.
+func ratioDelta(cur, prev *stats.Ratio) (num, den uint64) {
+	if cur == nil {
+		return 0, 0
+	}
+	num, den = cur.Num, cur.Den
+	if prev != nil {
+		num -= prev.Num
+		den -= prev.Den
+	}
+	return num, den
+}
+
+// HitRatio returns the epoch's DRAM-cache demand-read hit fraction, 0 when
+// the epoch saw no reads.
+func (e Epoch) HitRatio() float64 {
+	if e.Reads == 0 {
+		return 0
+	}
+	return float64(e.ReadHits) / float64(e.Reads)
+}
+
+// L2HitRatio returns the epoch's shared-L2 hit fraction via the same
+// NaN-safe rule as cache.Stats.HitRatio.
+func (e Epoch) L2HitRatio() float64 {
+	return cache.Stats{Accesses: e.L2Accesses, Hits: e.L2Hits}.HitRatio()
+}

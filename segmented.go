@@ -7,6 +7,7 @@ import (
 	"unisoncache/internal/checkpoint"
 	"unisoncache/internal/runner"
 	"unisoncache/internal/sim"
+	"unisoncache/internal/telemetry"
 )
 
 // maxSegments bounds Run.Segments. Far beyond any useful parallelism —
@@ -21,13 +22,16 @@ const maxSegments = 1024
 var ckStore = checkpoint.NewStore(512 << 20)
 
 // checkpointPrefix returns the snapshot-store key prefix of a run: the
-// RunKey of the configuration with Sampling and Segments stripped. A
-// serial run, every segment count, and a sampled run of the same
-// underlying configuration all replay the same event schedule up to any
-// boundary, so they deliberately share snapshots.
+// RunKey of the configuration with Sampling, Segments and Telemetry
+// stripped. A serial run, every segment count, a sampled run, and a
+// telemetry-observed run of the same underlying configuration all replay
+// the same event schedule up to any boundary — telemetry records without
+// perturbing and checkpoints carry no recorder state — so they
+// deliberately share snapshots.
 func checkpointPrefix(r Run) (string, error) {
 	r.Sampling = SampleSpec{}
 	r.Segments = 0
+	r.Telemetry = TelemetrySpec{}
 	return RunKey(r)
 }
 
@@ -104,7 +108,7 @@ func restoreMachine(r Run, prefix string, offset uint64, blob []byte) (*sim.Mach
 // restore every segment's start state concurrently and stitch the segments
 // together with a deterministic fix-up pass. Either way the Results are
 // bit-identical to the serial replay.
-func executeSegmented(r Run) (Result, error) {
+func executeSegmented(r Run, onEpoch func(TimelineEpoch)) (Result, error) {
 	prefix, err := checkpointPrefix(r)
 	if err != nil {
 		return Result{}, err
@@ -131,14 +135,14 @@ func executeSegmented(r Run) (Result, error) {
 		blobs[i] = blob
 	}
 	if !have {
-		return segmentedSerialSave(m, rr, prefix, bounds)
+		return segmentedSerialSave(m, rr, prefix, bounds, onEpoch)
 	}
-	res, err := segmentedParallel(rr, prefix, total, bounds, blobs)
+	res, err := segmentedParallel(rr, prefix, total, bounds, blobs, onEpoch)
 	if err != nil {
 		// A snapshot failed to restore (corrupt entry, geometry skew after
 		// a code change): fall back to the serial pass, which also rewrites
 		// every boundary and so repairs the store.
-		return segmentedSerialSave(m, rr, prefix, bounds)
+		return segmentedSerialSave(m, rr, prefix, bounds, onEpoch)
 	}
 	return res, nil
 }
@@ -147,8 +151,12 @@ func executeSegmented(r Run) (Result, error) {
 // saving a snapshot at every segment boundary and at the warmup boundary
 // (the sampled warm-start state). Snapshot encoding failures are not
 // errors — a source without checkpoint support simply leaves the store
-// unpopulated and every execution serial.
-func segmentedSerialSave(m *sim.Machine, rr Run, prefix string, bounds []uint64) (Result, error) {
+// unpopulated and every execution serial. With telemetry enabled the one
+// machine records the whole timeline and streams epochs live.
+func segmentedSerialSave(m *sim.Machine, rr Run, prefix string, bounds []uint64, onEpoch func(TimelineEpoch)) (Result, error) {
+	if rr.Telemetry.Enabled() {
+		m.SetTelemetry(rr.Telemetry.internal(), emitFunc(onEpoch))
+	}
 	targets := bounds
 	if warm := m.WarmSteps(); warm > 0 && warm < m.TotalSteps() {
 		targets = make([]uint64, 0, len(bounds)+1)
@@ -172,14 +180,25 @@ func segmentedSerialSave(m *sim.Machine, rr Run, prefix string, bounds []uint64)
 			ckStore.Put(prefix, t, blob)
 		}
 	}
-	return Result{Results: m.FinishRun(), Run: rr}, nil
+	res := Result{Results: m.FinishRun(), Run: rr}
+	if rr.Telemetry.Enabled() {
+		tl, err := timelineFrom(m.TelemetryRecorder(), rr.Telemetry.internal())
+		if err != nil {
+			return Result{}, err
+		}
+		res.Timeline = tl
+	}
+	return res, nil
 }
 
 // segOut is one segment worker's product: interior segments hand back
-// their encoded end state, the last segment the run's Results.
+// their encoded end state, the last segment the run's Results. With
+// telemetry enabled each segment also carries its recorder — the sparse
+// set of boundary cells its step range crossed — for the merge.
 type segOut struct {
 	endBlob []byte
 	res     sim.Results
+	tele    *telemetry.Recorder
 	err     error
 }
 
@@ -187,7 +206,10 @@ type segOut struct {
 // (start == nil) or from a boundary snapshot, up to the end offset. The
 // last segment completes the run and collects Results — bit-identical to
 // serial because its whole state, statistics counters included, came
-// through the checkpoint chain.
+// through the checkpoint chain. Telemetry cells are measurement-relative,
+// so a segment records exactly the values the serial run would for the
+// boundaries its steps cross; the recorder's Sync skips boundaries crossed
+// before the segment (they belong to segments to the left).
 func runSegment(rr Run, prefix string, start []byte, startOff, end uint64, last bool) segOut {
 	var m *sim.Machine
 	if start == nil {
@@ -204,15 +226,18 @@ func runSegment(rr Run, prefix string, start []byte, startOff, end uint64, last 
 		}
 		m = restored
 	}
+	if rr.Telemetry.Enabled() {
+		m.SetTelemetry(rr.Telemetry.internal(), nil)
+	}
 	if last {
-		return segOut{res: m.FinishRun()}
+		return segOut{res: m.FinishRun(), tele: m.TelemetryRecorder()}
 	}
 	m.RunTo(end)
 	blob, err := encodeMachine(m, prefix, end)
 	if err != nil {
 		return segOut{err: err}
 	}
-	return segOut{endBlob: blob}
+	return segOut{endBlob: blob, tele: m.TelemetryRecorder()}
 }
 
 // segmentedParallel runs every segment concurrently from the stored
@@ -223,7 +248,11 @@ func runSegment(rr Run, prefix string, start []byte, startOff, end uint64, last 
 // state is written back and the next segment re-runs from it; the cascade
 // proceeds only while mismatches keep propagating. The final segment's
 // Results therefore always descend from an authoritative state chain.
-func segmentedParallel(rr Run, prefix string, total uint64, bounds []uint64, blobs [][]byte) (Result, error) {
+// Telemetry merges the same way: each segment's recorder holds the cells
+// its (authoritative) step range crossed, a re-run replaces the stale
+// segment's recorder wholesale, and the union assembles the timeline the
+// serial run records, bit for bit.
+func segmentedParallel(rr Run, prefix string, total uint64, bounds []uint64, blobs [][]byte, onEpoch func(TimelineEpoch)) (Result, error) {
 	k := len(bounds) + 1
 	endOf := func(i int) uint64 {
 		if i < len(bounds) {
@@ -263,5 +292,33 @@ func segmentedParallel(rr Run, prefix string, total uint64, bounds []uint64, blo
 			return Result{}, outs[i+1].err
 		}
 	}
-	return Result{Results: outs[k-1].res, Run: rr}, nil
+	res := Result{Results: outs[k-1].res, Run: rr}
+	if rr.Telemetry.Enabled() {
+		// Union the segments' sparse cell sets left to right (a segment
+		// that never reached the measurement phase has no recorder).
+		var merged *telemetry.Recorder
+		for _, o := range outs {
+			if o.tele == nil {
+				continue
+			}
+			if merged == nil {
+				merged = o.tele
+				continue
+			}
+			if err := merged.Absorb(o.tele); err != nil {
+				return Result{}, err
+			}
+		}
+		tl, err := timelineFrom(merged, rr.Telemetry.internal())
+		if err != nil {
+			return Result{}, err
+		}
+		res.Timeline = tl
+		if onEpoch != nil {
+			for _, e := range tl.Epochs {
+				onEpoch(e)
+			}
+		}
+	}
+	return res, nil
 }

@@ -307,7 +307,10 @@ func runKey(r Run) Run { return r }
 
 // baselineRun normalizes a defaulted run into its no-DRAM-cache baseline.
 // Design-specific knobs are reset to their defaults so every design point
-// over the same workload tuple collapses onto one baseline key.
+// over the same workload tuple collapses onto one baseline key. Telemetry
+// is stripped too: a speedup's baseline only contributes its UIPC, so
+// observing the design point must not fork the baseline key (or record a
+// timeline nobody reads).
 func baselineRun(r Run) Run {
 	r.Design = DesignNone
 	r.UnisonWays = 4
@@ -315,5 +318,6 @@ func baselineRun(r Run) Run {
 	r.DisableWayPrediction = false
 	r.SerializeTagData = false
 	r.DisableSingleton = false
+	r.Telemetry = TelemetrySpec{}
 	return r
 }

@@ -32,6 +32,7 @@ import (
 	"unisoncache/internal/dramcache"
 	"unisoncache/internal/mem"
 	"unisoncache/internal/sim"
+	"unisoncache/internal/telemetry"
 )
 
 // DesignKind selects the DRAM cache organization under test.
@@ -133,6 +134,14 @@ type Run struct {
 	// snapshot to skip its functional warmup when one is available.
 	Segments int `json:"Segments"`
 
+	// Telemetry, when non-zero, records an epoch-sliced counter timeline
+	// over the measured region (Result.Timeline): per-core and per-design
+	// statistic deltas every EpochEvents retired events per core.
+	// Recording is barrier-free, so the measured Results are bit-identical
+	// with telemetry on or off, and it composes with Segments. Mutually
+	// exclusive with Sampling.
+	Telemetry TelemetrySpec `json:"Telemetry,omitzero"`
+
 	// UnisonWays overrides Unison Cache's 4-way associativity (Figure 5
 	// sweeps 1/4/32).
 	UnisonWays int `json:"UnisonWays"`
@@ -172,6 +181,9 @@ func (r Run) withDefaults() Run {
 	if r.Sampling.Enabled() {
 		r.Sampling = r.Sampling.withDefaults()
 	}
+	if r.Telemetry.Enabled() {
+		r.Telemetry = r.Telemetry.withDefaults()
+	}
 	return r
 }
 
@@ -202,6 +214,10 @@ type Result struct {
 	// is the sampled estimate over the measurement windows; all other
 	// fields cover the whole measured region, gaps included.
 	CI *SampleStats `json:",omitempty"`
+	// Timeline carries the epoch-sliced counter timeline of a run with
+	// telemetry enabled (Run.Telemetry non-zero) and is nil otherwise.
+	// Every other Result field is bit-identical with telemetry on or off.
+	Timeline *Timeline `json:",omitempty"`
 }
 
 // MissRatioPct is the DRAM cache demand-read miss ratio in percent.
@@ -213,12 +229,26 @@ func (r Result) MissRatioPct() float64 { return r.Design.MissRatioPct() }
 // With Run.Segments >= 2 the replay executes time-parallel (see Segments);
 // the Results are bit-identical either way.
 func Execute(r Run) (Result, error) {
+	return execute(r, nil)
+}
+
+// execute is Execute's dispatch with an optional live epoch observer
+// (ExecuteObserved).
+func execute(r Run, onEpoch func(TimelineEpoch)) (Result, error) {
 	r = r.withDefaults()
 	if r.ScaleDivisor < 1 {
 		return Result{}, fmt.Errorf("unisoncache: ScaleDivisor must be >= 1, got %d", r.ScaleDivisor)
 	}
 	if r.Segments < 0 || r.Segments > maxSegments {
 		return Result{}, fmt.Errorf("unisoncache: Segments must be in [0, %d], got %d", maxSegments, r.Segments)
+	}
+	if r.Telemetry.Enabled() {
+		if r.Sampling.Enabled() {
+			return Result{}, fmt.Errorf("unisoncache: Telemetry and Sampling are mutually exclusive (epoch slicing needs every event simulated)")
+		}
+		if err := r.Telemetry.internal().Validate(); err != nil {
+			return Result{}, fmt.Errorf("unisoncache: %w", err)
+		}
 	}
 	if r.Sampling.Enabled() {
 		if r.Segments > 1 {
@@ -233,13 +263,33 @@ func Execute(r Run) (Result, error) {
 		return executeSampled(machine, r)
 	}
 	if r.Segments > 1 {
-		return executeSegmented(r)
+		return executeSegmented(r, onEpoch)
 	}
 	machine, r, err := newMachine(r)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
+	if !r.Telemetry.Enabled() {
+		return Result{Results: machine.Run(r.AccessesPerCore), Run: r}, nil
+	}
+	spec := r.Telemetry.internal()
+	machine.SetTelemetry(spec, emitFunc(onEpoch))
+	res := Result{Results: machine.Run(r.AccessesPerCore), Run: r}
+	tl, err := timelineFrom(machine.TelemetryRecorder(), spec)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Timeline = tl
+	return res, nil
+}
+
+// emitFunc adapts a public epoch observer to the recorder's callback (nil
+// stays nil, keeping live emission off).
+func emitFunc(onEpoch func(TimelineEpoch)) func(telemetry.Epoch) {
+	if onEpoch == nil {
+		return nil
+	}
+	return func(e telemetry.Epoch) { onEpoch(fromEpoch(e)) }
 }
 
 // newMachine builds the complete simulated system a defaulted Run
